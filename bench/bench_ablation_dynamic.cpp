@@ -1,0 +1,79 @@
+// Ablation: dynamic-window cache protocols (Sec 2.2) — the base id-counter
+// poll vs the optimized invalidation-notify variant, across access and
+// detach frequencies. Quantifies the paper's stated trade-off: notify
+// wins on access latency, id-counter wins when detaches are frequent.
+#include "bench_util.hpp"
+#include "core/window.hpp"
+
+using namespace fompi;
+using namespace fompi::bench;
+
+namespace {
+constexpr int kAccesses = 50;
+
+double access_us(core::DynMode mode, int detach_every) {
+  fabric::FabricOptions opts = internode_model();
+  return measure(2, opts, 3, [&](fabric::RankCtx& ctx) {
+           core::WinConfig cfg;
+           cfg.dyn_mode = mode;
+           core::Win win = core::Win::create_dynamic(ctx, cfg);
+           static thread_local std::vector<std::uint64_t> mem;
+           mem.assign(64, 0);
+           win.attach(mem.data(), mem.size() * 8);
+           std::array<std::uint64_t, 2> addrs{};
+           const std::uint64_t mine =
+               reinterpret_cast<std::uint64_t>(mem.data());
+           ctx.allgather(&mine, 1, addrs.data());
+           double us = 0;
+           win.lock_all();
+           const int peer = 1 - ctx.rank();
+           std::uint64_t v = 0;
+           win.get(&v, 8, peer, addrs[static_cast<std::size_t>(peer)]);
+           win.flush(peer);  // warm the descriptor cache
+           ctx.barrier();
+           Timer t;
+           for (int i = 1; i <= kAccesses; ++i) {
+             win.get(&v, 8, peer, addrs[static_cast<std::size_t>(peer)]);
+             win.flush(peer);
+             if (detach_every > 0 && i % detach_every == 0) {
+               // Forced churn: detach + re-attach invalidates remotely.
+               win.unlock_all();
+               ctx.barrier();
+               win.detach(mem.data());
+               win.attach(mem.data(), mem.size() * 8);
+               ctx.barrier();
+               win.lock_all();
+             }
+           }
+           us = t.elapsed_us() / kAccesses;
+           win.unlock_all();
+           ctx.barrier();
+           win.detach(mem.data());
+           win.free();
+           return us;
+         }).median_us;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: dynamic-window descriptor-cache protocols "
+              "[us/access]\n\n");
+  std::printf("%-26s%16s%16s\n", "workload", "id-counter", "notify");
+  struct Case {
+    const char* name;
+    int detach_every;
+  };
+  for (const Case c : {Case{"read-only (no detach)", 0},
+                       Case{"detach every 25 accesses", 25},
+                       Case{"detach every 5 accesses", 5}}) {
+    std::printf("%-26s%16.2f%16.2f\n", c.name,
+                access_us(core::DynMode::id_counter, c.detach_every),
+                access_us(core::DynMode::notify, c.detach_every));
+  }
+  std::printf("\nExpected: notify ~one remote AMO cheaper per access in "
+              "the stable case\n(the id poll costs a remote read every "
+              "access); the gap narrows as detach\nfrequency rises and the "
+              "notify variant keeps re-registering and refetching.\n");
+  return 0;
+}

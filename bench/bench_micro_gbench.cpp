@@ -1,0 +1,141 @@
+// Google-benchmark microbenchmarks of the software fast paths.
+//
+// These measure the *library overhead* without the injected network model
+// (Injection::none): the cost of argument validation, epoch checks,
+// descriptor resolution, datatype lowering, and NIC bookkeeping — the
+// layer the paper quantifies with instruction counts. Latency-model
+// figures live in the bench_fig* binaries.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/window.hpp"
+#include "datatype/datatype.hpp"
+#include "fabric/fabric.hpp"
+
+using namespace fompi;
+
+namespace {
+
+/// Single-rank fabric fixture: rank 0 drives itself (intra-node path), so
+/// the measured cost is pure software path.
+struct SoloWin {
+  fabric::Fabric fabric;
+  fabric::RankCtx ctx;
+  core::Win win;
+  std::array<std::uint64_t, 512> buf{};
+
+  SoloWin()
+      : fabric([] {
+          fabric::FabricOptions o;
+          o.domain.nranks = 1;
+          return o;
+        }()),
+        ctx(fabric, 0),
+        win(core::Win::allocate(ctx, 8192)) {
+    win.lock_all();
+  }
+  ~SoloWin() {
+    win.unlock_all();
+    win.free();
+  }
+};
+
+void BM_PutFastPath(benchmark::State& state) {
+  SoloWin s;
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    s.win.put(s.buf.data(), size, 0, 0);
+  }
+  s.win.flush_all();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_PutFastPath)->Arg(8)->Arg(512)->Arg(4096);
+
+void BM_GetFastPath(benchmark::State& state) {
+  SoloWin s;
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    s.win.get(s.buf.data(), size, 0, 0);
+  }
+  s.win.flush_all();
+}
+BENCHMARK(BM_GetFastPath)->Arg(8)->Arg(512);
+
+void BM_PutDatatypePath(benchmark::State& state) {
+  SoloWin s;
+  const auto strided = dt::Datatype::vector(
+      static_cast<int>(state.range(0)), 1, 2, dt::Datatype::i64());
+  const auto contig = dt::Datatype::contiguous(
+      static_cast<int>(state.range(0)), dt::Datatype::i64());
+  for (auto _ : state) {
+    s.win.put(s.buf.data(), 1, strided, 0, 0, 1, contig);
+  }
+  s.win.flush_all();
+}
+BENCHMARK(BM_PutDatatypePath)->Arg(4)->Arg(32);
+
+void BM_Flush(benchmark::State& state) {
+  SoloWin s;
+  for (auto _ : state) s.win.flush_all();
+}
+BENCHMARK(BM_Flush);
+
+void BM_WinSync(benchmark::State& state) {
+  SoloWin s;
+  for (auto _ : state) s.win.sync();
+}
+BENCHMARK(BM_WinSync);
+
+void BM_AccumulateAmo(benchmark::State& state) {
+  SoloWin s;
+  const std::uint64_t one = 1;
+  for (auto _ : state) {
+    s.win.accumulate(&one, 1, Elem::u64, RedOp::sum, 0, 0);
+  }
+  s.win.flush_all();
+}
+BENCHMARK(BM_AccumulateAmo);
+
+void BM_FetchAndOp(benchmark::State& state) {
+  SoloWin s;
+  const std::uint64_t one = 1;
+  std::uint64_t old = 0;
+  for (auto _ : state) {
+    s.win.fetch_and_op(&one, &old, Elem::u64, RedOp::sum, 0, 0);
+    benchmark::DoNotOptimize(old);
+  }
+}
+BENCHMARK(BM_FetchAndOp);
+
+void BM_LockUnlockShared(benchmark::State& state) {
+  fabric::Fabric fabric([] {
+    fabric::FabricOptions o;
+    o.domain.nranks = 1;
+    return o;
+  }());
+  fabric::RankCtx ctx(fabric, 0);
+  core::Win win = core::Win::allocate(ctx, 64);
+  for (auto _ : state) {
+    win.lock(core::LockType::shared, 0);
+    win.unlock(0);
+  }
+  win.free();
+}
+BENCHMARK(BM_LockUnlockShared);
+
+void BM_DatatypeFlatten(benchmark::State& state) {
+  const auto t = dt::Datatype::vector(static_cast<int>(state.range(0)), 2, 5,
+                                      dt::Datatype::f64());
+  for (auto _ : state) {
+    std::vector<dt::Block> blocks;
+    t.flatten(0, 4, blocks);
+    benchmark::DoNotOptimize(blocks.data());
+  }
+}
+BENCHMARK(BM_DatatypeFlatten)->Arg(4)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Methodology mirrors the paper (Sec 3): each configuration measures the
+// operation many times, takes the maximum across ranks per repetition, and
+// reports the median over repetitions. Real-time benches run the actual
+// protocol code with the Gemini latency model injected; the scaling tails
+// of the figures come from the calibrated discrete-event simulator.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "fabric/fabric.hpp"
+
+namespace fompi::bench {
+
+/// Fabric options for "inter-node" measurements: every rank on its own
+/// node, Gemini model injected.
+inline fabric::FabricOptions internode_model() {
+  fabric::FabricOptions o;
+  o.domain.ranks_per_node = 1;
+  o.domain.inject = rdma::Injection::model;
+  return o;
+}
+
+/// Fabric options for "intra-node" (XPMEM-like) measurements.
+inline fabric::FabricOptions intranode_model() {
+  fabric::FabricOptions o;
+  o.domain.ranks_per_node = 0;
+  o.domain.inject = rdma::Injection::model;
+  return o;
+}
+
+struct RepeatResult {
+  double median_us = 0;
+  double min_us = 0;
+  double max_us = 0;
+};
+
+/// Runs `body(ctx)` (one timed repetition, returning its own microseconds)
+/// `reps` times on `p` ranks; reduces each repetition with max-over-ranks
+/// and reports the median across repetitions — the paper's bucket scheme.
+inline RepeatResult measure(int p, const fabric::FabricOptions& opts,
+                            int reps,
+                            const std::function<double(fabric::RankCtx&)>& body) {
+  std::vector<double> buckets(static_cast<std::size_t>(reps), 0.0);
+  std::mutex mu;
+  fabric::run_ranks(p, [&](fabric::RankCtx& ctx) {
+    for (int r = 0; r < reps; ++r) {
+      ctx.barrier();
+      const double us = body(ctx);
+      std::scoped_lock lock(mu);
+      buckets[static_cast<std::size_t>(r)] =
+          std::max(buckets[static_cast<std::size_t>(r)], us);
+    }
+  }, opts);
+  Stats st = summarize(buckets);
+  return RepeatResult{st.median, st.min, st.max};
+}
+
+/// Prints one table row: label then values.
+inline void row(const std::string& label,
+                const std::vector<double>& values, const char* fmt = "%12.2f") {
+  std::printf("%-24s", label.c_str());
+  for (double v : values) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace fompi::bench

@@ -1,0 +1,51 @@
+// MILC-like lattice CG demo (the Sec 4.4 study).
+//
+// Solves (I + kappa*L) x = b on a 4D lattice decomposed over 4 ranks,
+// once with MPI-1 sendrecv halos and once with the paper's RMA scheme
+// (pack -> flush -> atomic flag -> neighbor gets). Both must converge in
+// the same number of iterations to the same solution.
+//
+// Usage: ./examples/stencil_overlap
+#include <cstdio>
+
+#include "apps/milc.hpp"
+#include "common/rng.hpp"
+#include "common/timing.hpp"
+
+using namespace fompi;
+
+int main() {
+  constexpr int kRanks = 4;
+  for (const auto backend : {apps::MilcBackend::p2p, apps::MilcBackend::rma}) {
+    const char* name =
+        backend == apps::MilcBackend::p2p ? "MPI-1 sendrecv" : "MPI-3 RMA";
+    apps::MilcConfig cfg;
+    cfg.local = {4, 4, 4, 4};
+    cfg.grid = apps::milc_default_grid(kRanks);
+    cfg.backend = backend;
+    double us = 0, final_res = 0;
+    int iters = 0;
+    fabric::run_ranks(kRanks, [&](fabric::RankCtx& ctx) {
+      apps::MilcSolver solver(ctx, cfg);
+      Rng rng(5 + static_cast<std::uint64_t>(ctx.rank()));
+      std::vector<double> b(solver.local_sites());
+      for (auto& v : b) v = rng.uniform() - 0.5;
+      std::vector<double> x, history;
+      ctx.barrier();
+      Timer t;
+      const int it = solver.solve_cg(ctx, b, x, 1e-10, 500, &history);
+      const double mine_us = t.elapsed_us();
+      if (ctx.rank() == 0) {
+        us = mine_us;
+        iters = it;
+        final_res = history.empty() ? 0.0 : history.back();
+      }
+      solver.destroy(ctx);
+    });
+    std::printf("%-16s grid %dx%dx%dx%d: CG converged in %3d iters, "
+                "residual %.2e, %8.0f us\n",
+                name, cfg.grid[0], cfg.grid[1], cfg.grid[2], cfg.grid[3],
+                iters, final_res, us);
+  }
+  return 0;
+}

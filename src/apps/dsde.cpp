@@ -1,0 +1,208 @@
+#include "apps/dsde.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace fompi::apps {
+
+namespace {
+constexpr int kTagData = 301;
+}
+
+const char* to_string(DsdeProto p) noexcept {
+  switch (p) {
+    case DsdeProto::alltoall:       return "alltoall";
+    case DsdeProto::reduce_scatter: return "reduce_scatter";
+    case DsdeProto::nbx:            return "nbx";
+    case DsdeProto::rma:            return "rma";
+  }
+  return "unknown";
+}
+
+std::vector<DsdeMsg> dsde_random_workload(int rank, int nranks, int k,
+                                          std::uint64_t seed) {
+  Rng rng(seed * 1315423911u + static_cast<std::uint64_t>(rank));
+  std::vector<DsdeMsg> sends;
+  sends.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    int target = rank;
+    if (nranks > 1) {
+      while (target == rank) {
+        target = static_cast<int>(rng.below(static_cast<std::uint64_t>(nranks)));
+      }
+    }
+    sends.push_back(DsdeMsg{target, rng.next() | 1});
+  }
+  return sends;
+}
+
+namespace {
+
+std::vector<DsdeMsg> exchange_alltoall(fabric::RankCtx& ctx,
+                                       const std::vector<DsdeMsg>& sends) {
+  const int p = ctx.nranks();
+  auto& p2p = ctx.fabric().p2p();
+  // Dense count matrix: column exchange via alltoall.
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(p), 0);
+  for (const auto& m : sends) ++counts[static_cast<std::size_t>(m.peer)];
+  std::vector<std::uint64_t> incoming(static_cast<std::size_t>(p), 0);
+  ctx.fabric().coll().alltoall(ctx.rank(), counts.data(), std::size_t{1},
+                               incoming.data());
+  // Data movement with known counts.
+  std::vector<fabric::P2PRequest> reqs;
+  for (const auto& m : sends) {
+    reqs.push_back(
+        p2p.isend(ctx.rank(), m.peer, kTagData, &m.payload, 8));
+  }
+  std::vector<DsdeMsg> received;
+  for (int src = 0; src < p; ++src) {
+    for (std::uint64_t i = 0; i < incoming[static_cast<std::size_t>(src)];
+         ++i) {
+      std::uint64_t v = 0;
+      p2p.recv(ctx.rank(), src, kTagData, &v, 8);
+      received.push_back(DsdeMsg{src, v});
+    }
+  }
+  p2p.waitall(reqs);
+  ctx.barrier();
+  return received;
+}
+
+std::vector<DsdeMsg> exchange_reduce_scatter(
+    fabric::RankCtx& ctx, const std::vector<DsdeMsg>& sends) {
+  const int p = ctx.nranks();
+  auto& p2p = ctx.fabric().p2p();
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(p), 0);
+  for (const auto& m : sends) ++counts[static_cast<std::size_t>(m.peer)];
+  std::uint64_t my_incoming = 0;
+  ctx.fabric().coll().reduce_scatter_block(
+      ctx.rank(), counts.data(), &my_incoming, 1,
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  std::vector<fabric::P2PRequest> reqs;
+  for (const auto& m : sends) {
+    reqs.push_back(p2p.isend(ctx.rank(), m.peer, kTagData, &m.payload, 8));
+  }
+  std::vector<DsdeMsg> received;
+  for (std::uint64_t i = 0; i < my_incoming; ++i) {
+    std::uint64_t v = 0;
+    fabric::Status st;
+    p2p.recv(ctx.rank(), fabric::kAnySource, kTagData, &v, 8, &st);
+    received.push_back(DsdeMsg{st.source, v});
+  }
+  p2p.waitall(reqs);
+  ctx.barrier();
+  return received;
+}
+
+std::vector<DsdeMsg> exchange_nbx(fabric::RankCtx& ctx,
+                                  const std::vector<DsdeMsg>& sends) {
+  auto& p2p = ctx.fabric().p2p();
+  auto& coll = ctx.fabric().coll();
+  std::vector<fabric::P2PRequest> reqs;
+  for (const auto& m : sends) {
+    reqs.push_back(p2p.issend(ctx.rank(), m.peer, kTagData, &m.payload, 8));
+  }
+  std::vector<DsdeMsg> received;
+  bool barrier_started = false;
+  bool done = false;
+  while (!done) {
+    fabric::Status st;
+    if (p2p.iprobe(ctx.rank(), fabric::kAnySource, kTagData, &st)) {
+      std::uint64_t v = 0;
+      p2p.recv(ctx.rank(), st.source, kTagData, &v, 8);
+      received.push_back(DsdeMsg{st.source, v});
+    }
+    if (!barrier_started) {
+      bool all_sent = true;
+      for (auto& r : reqs) {
+        if (r.valid() && !p2p.test(r)) {
+          all_sent = false;
+          break;
+        }
+      }
+      if (all_sent) {
+        coll.ibarrier_begin(ctx.rank());
+        barrier_started = true;
+      }
+    } else if (coll.ibarrier_test(ctx.rank())) {
+      done = true;
+    }
+    ctx.yield_check();
+  }
+  return received;
+}
+
+}  // namespace
+
+DsdeRmaExchanger::DsdeRmaExchanger(fabric::RankCtx& ctx,
+                                   std::size_t max_incoming)
+    : max_incoming_(max_incoming),
+      win_(core::Win::allocate(ctx, 8 + max_incoming * 16)) {}
+
+void DsdeRmaExchanger::destroy(fabric::RankCtx& ctx) {
+  ctx.barrier();
+  win_.free();
+}
+
+std::vector<DsdeMsg> DsdeRmaExchanger::exchange(
+    fabric::RankCtx& ctx, const std::vector<DsdeMsg>& sends) {
+  struct Slot {
+    std::uint64_t source_plus_1;
+    std::uint64_t payload;
+  };
+  // Reset the fill counter from the previous round, then exchange inside
+  // one pair of fences: fetch_add reserves a slot at the target, a put
+  // fills it (the accumulate protocol of Fig 7b).
+  auto* base = static_cast<std::byte*>(win_.base());
+  std::memset(base, 0, 8);
+  win_.fence();
+  const std::uint64_t one = 1;
+  for (const auto& m : sends) {
+    FOMPI_REQUIRE(m.peer >= 0 && m.peer < ctx.nranks(), ErrClass::rank,
+                  "dsde: target out of range");
+    std::uint64_t idx = 0;
+    win_.fetch_and_op(&one, &idx, Elem::u64, RedOp::sum, m.peer, 0);
+    FOMPI_REQUIRE(idx < max_incoming_, ErrClass::no_mem,
+                  "dsde rma slot array exhausted");
+    const Slot s{static_cast<std::uint64_t>(ctx.rank()) + 1, m.payload};
+    win_.put(&s, sizeof(Slot), m.peer,
+             8 + static_cast<std::size_t>(idx) * sizeof(Slot));
+  }
+  win_.fence();
+  std::vector<DsdeMsg> received;
+  std::uint64_t n = 0;
+  std::memcpy(&n, base, 8);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Slot s;
+    std::memcpy(&s, base + 8 + i * sizeof(Slot), sizeof(Slot));
+    received.push_back(
+        DsdeMsg{static_cast<int>(s.source_plus_1 - 1), s.payload});
+  }
+  win_.fence();  // nobody reuses the window before all reads finished
+  return received;
+}
+
+std::vector<DsdeMsg> dsde_exchange(fabric::RankCtx& ctx, DsdeProto proto,
+                                   const std::vector<DsdeMsg>& sends) {
+  for (const auto& m : sends) {
+    FOMPI_REQUIRE(m.peer >= 0 && m.peer < ctx.nranks(), ErrClass::rank,
+                  "dsde: target out of range");
+  }
+  switch (proto) {
+    case DsdeProto::alltoall:       return exchange_alltoall(ctx, sends);
+    case DsdeProto::reduce_scatter: return exchange_reduce_scatter(ctx, sends);
+    case DsdeProto::nbx:            return exchange_nbx(ctx, sends);
+    case DsdeProto::rma: {
+      DsdeRmaExchanger ex(ctx,
+                          static_cast<std::size_t>(ctx.nranks()) * 8 + 64);
+      auto out = ex.exchange(ctx, sends);
+      ex.destroy(ctx);
+      return out;
+    }
+  }
+  raise(ErrClass::arg, "bad dsde protocol");
+}
+
+}  // namespace fompi::apps

@@ -1,0 +1,80 @@
+// PGAS comparator layer ("Cray UPC" / "Fortran coarrays" stand-ins).
+//
+// Cray's UPC and CAF runtimes are closed source; what the paper measures is
+// their *behaviour*: direct DMAPP access like foMPI, plus a constant per-op
+// software overhead (shared-pointer translation, runtime dispatch) that
+// makes them ~2x slower than foMPI for small transfers while matching its
+// asymptotic bandwidth (Fig 4). This layer reproduces exactly that: the
+// same simulated NIC underneath, plus a configurable per-op overhead charged
+// when latency injection is on. API mirrors the UPC constructs the paper's
+// listings use: upc_all_alloc, upc_memput/upc_memget, upc_fence,
+// upc_barrier, and Cray's atomic extensions (amo_aadd / amo_acswap).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "fabric/fabric.hpp"
+
+namespace fompi::baselines {
+
+struct PgasConfig {
+  /// Extra software overhead per remote operation, charged on top of the
+  /// NIC model (0 disables). Paper-calibrated defaults: see make_upc_like /
+  /// make_caf_like.
+  double per_op_extra_us = 0.0;
+  /// Extra barrier cost factor per log2(p) round, relative to the foMPI
+  /// dissemination barrier (1.0 = same).
+  double barrier_round_factor = 1.0;
+};
+
+/// Returns the Cray-UPC-like configuration (Fig 4: ~1.2us extra per op).
+PgasConfig make_upc_like();
+/// Returns the Fortran-coarrays-like configuration (slightly slower put,
+/// notably slower sync_all; Figs 4 and 6b).
+PgasConfig make_caf_like();
+
+/// A "shared [bytes_per_rank] char" array: every rank owns one block of a
+/// globally addressable array, like upc_all_alloc(p, bytes_per_rank).
+class SharedArray {
+ public:
+  /// Collective.
+  SharedArray(fabric::RankCtx& ctx, std::size_t bytes_per_rank,
+              PgasConfig cfg = {});
+  /// Collective.
+  void destroy(fabric::RankCtx& ctx);
+
+  int rank() const noexcept { return rank_; }
+  std::size_t block_bytes() const noexcept { return bytes_; }
+  /// Local pointer to this rank's block (UPC cast-to-local idiom).
+  void* local() noexcept;
+
+  /// upc_memput with the Cray defer_sync semantics: nonblocking, completed
+  /// by fence().
+  void memput(int target, std::size_t off, const void* src, std::size_t len);
+  /// upc_memget (deferred as well).
+  void memget(int target, std::size_t off, void* dst, std::size_t len);
+  /// upc_fence: completes all outstanding operations of this thread.
+  void fence();
+  /// upc_barrier (includes a fence, as in UPC semantics).
+  void barrier();
+
+  /// Cray UPC atomic extensions on 8-byte words.
+  std::uint64_t amo_aadd(int target, std::size_t off, std::uint64_t v);
+  std::uint64_t amo_acswap(int target, std::size_t off, std::uint64_t compare,
+                           std::uint64_t value);
+
+ private:
+  void charge_overhead() const;
+
+  fabric::Fabric* fabric_ = nullptr;
+  int rank_ = -1;
+  std::size_t bytes_ = 0;
+  PgasConfig cfg_{};
+  std::shared_ptr<std::vector<AlignedBuffer>> blocks_;
+  std::shared_ptr<std::vector<rdma::RegionDesc>> descs_;
+};
+
+}  // namespace fompi::baselines

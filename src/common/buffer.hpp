@@ -1,0 +1,48 @@
+// Cache-line aligned owning buffer used for window memory.
+//
+// RDMA registration requires stable, suitably aligned storage; DMAPP AMOs
+// require 8-byte alignment and we additionally align to the cache line to
+// avoid false sharing between protocol variables.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+
+#include "common/error.hpp"
+
+namespace fompi {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Owning, cache-line aligned, zero-initialized byte buffer.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t size) : size_(size) {
+    if (size_ == 0) return;
+    const std::size_t rounded = (size_ + kCacheLine - 1) / kCacheLine * kCacheLine;
+    void* p = std::aligned_alloc(kCacheLine, rounded);
+    if (p == nullptr) raise(ErrClass::no_mem, "aligned_alloc failed");
+    std::memset(p, 0, rounded);
+    data_.reset(static_cast<std::byte*>(p));
+  }
+
+  std::byte* data() noexcept { return data_.get(); }
+  const std::byte* data() const noexcept { return data_.get(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(std::byte* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<std::byte, FreeDeleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fompi

@@ -1,0 +1,26 @@
+#include "common/error.hpp"
+
+namespace fompi {
+
+const char* to_string(ErrClass ec) noexcept {
+  switch (ec) {
+    case ErrClass::internal:     return "FOMPI_ERR_INTERNAL";
+    case ErrClass::arg:          return "FOMPI_ERR_ARG";
+    case ErrClass::rank:         return "FOMPI_ERR_RANK";
+    case ErrClass::win:          return "FOMPI_ERR_WIN";
+    case ErrClass::rma_range:    return "FOMPI_ERR_RMA_RANGE";
+    case ErrClass::rma_sync:     return "FOMPI_ERR_RMA_SYNC";
+    case ErrClass::rma_conflict: return "FOMPI_ERR_RMA_CONFLICT";
+    case ErrClass::rma_attach:   return "FOMPI_ERR_RMA_ATTACH";
+    case ErrClass::type:         return "FOMPI_ERR_TYPE";
+    case ErrClass::op:           return "FOMPI_ERR_OP";
+    case ErrClass::truncate:     return "FOMPI_ERR_TRUNCATE";
+    case ErrClass::pending:      return "FOMPI_ERR_PENDING";
+    case ErrClass::no_mem:       return "FOMPI_ERR_NO_MEM";
+  }
+  return "FOMPI_ERR_UNKNOWN";
+}
+
+void raise(ErrClass ec, const std::string& what) { throw Error(ec, what); }
+
+}  // namespace fompi

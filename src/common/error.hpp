@@ -1,0 +1,60 @@
+// Error handling for the foMPI-R library.
+//
+// The MPI standard reports errors through error classes; we use typed
+// exceptions carrying an error class, which unit tests can assert on.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fompi {
+
+/// Error classes, modeled on the MPI error classes relevant to RMA.
+enum class ErrClass : std::uint32_t {
+  internal,       ///< implementation bug (assertion-like)
+  arg,            ///< invalid argument value
+  rank,           ///< rank out of range
+  win,            ///< invalid window / window state
+  rma_range,      ///< access outside the exposed region
+  rma_sync,       ///< synchronization call out of order (epoch misuse)
+  rma_conflict,   ///< conflicting accesses detected
+  rma_attach,     ///< dynamic window attach/detach misuse
+  type,           ///< invalid or unsupported datatype use
+  op,             ///< invalid reduction op for the call
+  truncate,       ///< receive buffer too small (two-sided baseline)
+  pending,        ///< operation still pending where completion required
+  no_mem,         ///< registration/allocation failure
+};
+
+/// Human-readable name of an error class.
+const char* to_string(ErrClass ec) noexcept;
+
+/// Exception type thrown by all foMPI-R entry points on misuse.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrClass ec, std::string what)
+      : std::runtime_error(std::string(to_string(ec)) + ": " + std::move(what)),
+        ec_(ec) {}
+
+  ErrClass err_class() const noexcept { return ec_; }
+
+ private:
+  ErrClass ec_;
+};
+
+[[noreturn]] void raise(ErrClass ec, const std::string& what);
+
+/// Precondition check used on public entry points. Kept on in release
+/// builds: argument validation is part of the library contract and its cost
+/// is counted by the instruction-count benches.
+#define FOMPI_REQUIRE(cond, ec, msg)             \
+  do {                                           \
+    if (!(cond)) ::fompi::raise((ec), (msg));    \
+  } while (0)
+
+/// Internal invariant check (implementation bugs, not user misuse).
+#define FOMPI_ASSERT(cond, msg) \
+  FOMPI_REQUIRE(cond, ::fompi::ErrClass::internal, msg)
+
+}  // namespace fompi

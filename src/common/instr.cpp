@@ -1,0 +1,36 @@
+#include "common/instr.hpp"
+
+namespace fompi {
+
+const char* to_string(Op op) noexcept {
+  switch (op) {
+    case Op::transport_put:    return "transport_put";
+    case Op::transport_get:    return "transport_get";
+    case Op::transport_amo:    return "transport_amo";
+    case Op::local_atomic:     return "local_atomic";
+    case Op::memory_fence:     return "memory_fence";
+    case Op::bulk_sync:        return "bulk_sync";
+    case Op::protocol_branch:  return "protocol_branch";
+    case Op::validation_check: return "validation_check";
+    case Op::bytes_copied:     return "bytes_copied";
+    case Op::retry:            return "retry";
+    case Op::kCount:           break;
+  }
+  return "unknown";
+}
+
+std::uint64_t OpCounters::total_ops() const noexcept {
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (i == static_cast<std::size_t>(Op::bytes_copied)) continue;
+    t += c_[i];
+  }
+  return t;
+}
+
+OpCounters& op_counters() noexcept {
+  thread_local OpCounters counters;
+  return counters;
+}
+
+}  // namespace fompi

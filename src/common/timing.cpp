@@ -1,0 +1,22 @@
+#include "common/timing.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fompi {
+
+Stats summarize(std::vector<double>& samples) {
+  Stats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  const std::size_t n = samples.size();
+  s.median = (n % 2 == 1) ? samples[n / 2]
+                          : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(n);
+  return s;
+}
+
+}  // namespace fompi

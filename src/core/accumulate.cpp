@@ -1,0 +1,240 @@
+// The accumulate family (Sec 2.4).
+//
+// Two paths, as in foMPI:
+//   * accelerated — 8-byte integer SUM/AND/OR/XOR/REPLACE map to one NIC
+//     AMO per element (DMAPP-accelerated ops);
+//   * fallback — everything else runs the true-passive protocol: lock the
+//     target's internal accumulate lock, get the span, combine locally,
+//     put it back, unlock. This serializes concurrent accumulates at the
+//     target but needs no receiver involvement (the paper's design; its
+//     latency/bandwidth trade-off is visible in Fig 6a).
+#include "core/window.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/backoff.hpp"
+#include "common/instr.hpp"
+#include "core/win_internal.hpp"
+
+namespace fompi::core {
+
+void Win::acc_lock_acquire(int target) {
+  Shared& s = sh();
+  rdma::Nic& n = nic();
+  const auto& tdesc = s.ctrl_desc[static_cast<std::size_t>(target)];
+  const std::uint64_t mine = static_cast<std::uint64_t>(rank_) + 1;
+  Backoff backoff;
+  while (n.amo(target, tdesc, CtrlLayout::kAccLock, rdma::AmoOp::cas, mine,
+               0) != 0) {
+    backoff.pause();
+    s.fabric->check_abort();
+  }
+}
+
+void Win::acc_lock_release(int target) {
+  Shared& s = sh();
+  nic().amo(target, s.ctrl_desc[static_cast<std::size_t>(target)],
+            CtrlLayout::kAccLock, rdma::AmoOp::swap, 0);
+}
+
+void Win::accumulate_fallback(const void* origin, void* fetch,
+                              std::size_t count, Elem e, RedOp op, int target,
+                              std::size_t tdisp) {
+  const std::size_t len = count * elem_size(e);
+  rdma::RegionDesc desc;
+  std::size_t off = 0;
+  resolve_target(target, tdisp, len, &desc, &off);
+  rdma::Nic& n = nic();
+  acc_lock_acquire(target);
+  std::vector<std::byte> tmp(len);
+  n.get(target, desc, off, tmp.data(), len);
+  if (fetch != nullptr) std::memcpy(fetch, tmp.data(), len);
+  if (op != RedOp::no_op) {
+    combine(e, op, tmp.data(), origin, count);
+    n.put(target, desc, off, tmp.data(), len);
+  }
+  acc_lock_release(target);
+}
+
+void Win::accumulate(const void* origin, std::size_t count, Elem e, RedOp op,
+                     int target, std::size_t tdisp) {
+  require_access(target);
+  FOMPI_REQUIRE(op != RedOp::no_op, ErrClass::op,
+                "accumulate with no_op has no effect; use get_accumulate");
+  if (amo_accelerated(e, op)) {
+    const std::size_t len = count * 8;
+    rdma::RegionDesc desc;
+    std::size_t off = 0;
+    resolve_target(target, tdisp, len, &desc, &off);
+    const auto* vals = static_cast<const std::uint64_t*>(origin);
+    rdma::Nic& n = nic();
+    const rdma::AmoOp opcode = amo_opcode(op);
+    for (std::size_t i = 0; i < count; ++i) {
+      n.amo_nbi(target, desc, off + 8 * i, opcode, vals[i]);
+    }
+    return;
+  }
+  accumulate_fallback(origin, nullptr, count, e, op, target, tdisp);
+}
+
+void Win::accumulate(const void* origin, int ocount,
+                     const dt::Datatype& otype, Elem e, RedOp op, int target,
+                     std::size_t tdisp, int tcount,
+                     const dt::Datatype& ttype) {
+  require_access(target);
+  FOMPI_REQUIRE(op != RedOp::no_op, ErrClass::op,
+                "accumulate with no_op has no effect; use get_accumulate");
+  const std::size_t esz = elem_size(e);
+  // Contiguous pairs reduce to the plain call.
+  if (otype.is_contiguous() && ttype.is_contiguous()) {
+    const std::size_t len = otype.size() * static_cast<std::size_t>(ocount);
+    FOMPI_REQUIRE(len == ttype.size() * static_cast<std::size_t>(tcount) &&
+                      len % esz == 0,
+                  ErrClass::type, "accumulate: payload mismatch");
+    accumulate(origin, len / esz, e, op, target, tdisp);
+    return;
+  }
+  std::vector<dt::Block> oblocks, tblocks;
+  otype.flatten(0, ocount, oblocks);
+  ttype.flatten(tdisp, tcount, tblocks);
+  const auto* obase = static_cast<const std::byte*>(origin);
+
+  if (amo_accelerated(e, op)) {
+    rdma::Nic& n = nic();
+    const rdma::AmoOp opcode = amo_opcode(op);
+    dt::pair_blocks(oblocks, tblocks,
+                    [&](std::size_t ooff, std::size_t toff, std::size_t len) {
+                      FOMPI_REQUIRE(len % esz == 0 && ooff % esz == 0,
+                                    ErrClass::type,
+                                    "accumulate: fragment splits an element");
+                      rdma::RegionDesc desc;
+                      std::size_t off = 0;
+                      resolve_target(target, toff, len, &desc, &off);
+                      for (std::size_t i = 0; i < len; i += 8) {
+                        std::uint64_t v;
+                        std::memcpy(&v, obase + ooff + i, 8);
+                        n.amo_nbi(target, desc, off + i, opcode, v);
+                      }
+                    });
+    return;
+  }
+  // Fallback: one lock around the whole transfer keeps the operation
+  // atomic as a unit, fragments move with get-combine-put.
+  rdma::Nic& n = nic();
+  acc_lock_acquire(target);
+  std::vector<std::byte> tmp;
+  dt::pair_blocks(oblocks, tblocks,
+                  [&](std::size_t ooff, std::size_t toff, std::size_t len) {
+                    FOMPI_REQUIRE(len % esz == 0, ErrClass::type,
+                                  "accumulate: fragment splits an element");
+                    rdma::RegionDesc desc;
+                    std::size_t off = 0;
+                    resolve_target(target, toff, len, &desc, &off);
+                    tmp.resize(len);
+                    n.get(target, desc, off, tmp.data(), len);
+                    combine(e, op, tmp.data(), obase + ooff, len / esz);
+                    n.put(target, desc, off, tmp.data(), len);
+                  });
+  acc_lock_release(target);
+}
+
+RmaRequest Win::raccumulate(const void* origin, std::size_t count, Elem e,
+                            RedOp op, int target, std::size_t tdisp) {
+  require_access(target);
+  FOMPI_REQUIRE(op != RedOp::no_op, ErrClass::op,
+                "raccumulate with no_op has no effect");
+  RmaRequest req;
+  req.nic_ = &nic();
+  if (amo_accelerated(e, op)) {
+    const std::size_t len = count * 8;
+    rdma::RegionDesc desc;
+    std::size_t off = 0;
+    resolve_target(target, tdisp, len, &desc, &off);
+    const auto* vals = static_cast<const std::uint64_t*>(origin);
+    const rdma::AmoOp opcode = amo_opcode(op);
+    req.handles_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      req.handles_.push_back(req.nic_->amo_nb(target, desc, off + 8 * i,
+                                              opcode, vals[i], 0, nullptr));
+    }
+    return req;
+  }
+  // Fallback ops complete eagerly; the request is immediately done.
+  accumulate_fallback(origin, nullptr, count, e, op, target, tdisp);
+  return req;
+}
+
+void Win::get_accumulate(const void* origin, void* result, std::size_t count,
+                         Elem e, RedOp op, int target, std::size_t tdisp) {
+  require_access(target);
+  FOMPI_REQUIRE(result != nullptr, ErrClass::arg,
+                "get_accumulate needs a result buffer");
+  if (amo_accelerated(e, op) || (op == RedOp::no_op && elem_size(e) == 8)) {
+    const std::size_t len = count * 8;
+    rdma::RegionDesc desc;
+    std::size_t off = 0;
+    resolve_target(target, tdisp, len, &desc, &off);
+    const auto* vals = static_cast<const std::uint64_t*>(origin);
+    auto* out = static_cast<std::uint64_t*>(result);
+    rdma::Nic& n = nic();
+    // Explicit nonblocking AMOs, completed together: fetch results land in
+    // the result buffer in element order.
+    std::vector<rdma::Handle> handles;
+    handles.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (op == RedOp::no_op) {
+        handles.push_back(n.amo_nb(target, desc, off + 8 * i,
+                                   rdma::AmoOp::read, 0, 0, &out[i]));
+      } else {
+        handles.push_back(n.amo_nb(target, desc, off + 8 * i, amo_opcode(op),
+                                   vals[i], 0, &out[i]));
+      }
+    }
+    for (rdma::Handle h : handles) n.wait(h);
+    return;
+  }
+  accumulate_fallback(origin, result, count, e, op, target, tdisp);
+}
+
+void Win::fetch_and_op(const void* origin, void* result, Elem e, RedOp op,
+                       int target, std::size_t tdisp) {
+  get_accumulate(origin, result, 1, e, op, target, tdisp);
+}
+
+void Win::compare_and_swap(const void* origin, const void* compare,
+                           void* result, Elem e, int target,
+                           std::size_t tdisp) {
+  require_access(target);
+  FOMPI_REQUIRE(e != Elem::f32 && e != Elem::f64, ErrClass::type,
+                "compare_and_swap requires an integer type");
+  if (elem_size(e) == 8) {
+    rdma::RegionDesc desc;
+    std::size_t off = 0;
+    resolve_target(target, tdisp, 8, &desc, &off);
+    std::uint64_t o, c;
+    std::memcpy(&o, origin, 8);
+    std::memcpy(&c, compare, 8);
+    const std::uint64_t prev =
+        nic().amo(target, desc, off, rdma::AmoOp::cas, o, c);
+    std::memcpy(result, &prev, 8);
+    return;
+  }
+  // 4-byte CAS is not hardware-accelerated: run it under the fallback lock.
+  rdma::RegionDesc desc;
+  std::size_t off = 0;
+  resolve_target(target, tdisp, 4, &desc, &off);
+  rdma::Nic& n = nic();
+  acc_lock_acquire(target);
+  std::uint32_t cur;
+  n.get(target, desc, off, &cur, 4);
+  std::memcpy(result, &cur, 4);
+  std::uint32_t cmp;
+  std::memcpy(&cmp, compare, 4);
+  if (cur == cmp) {
+    n.put(target, desc, off, origin, 4);
+  }
+  acc_lock_release(target);
+}
+
+}  // namespace fompi::core

@@ -1,0 +1,186 @@
+// Communication functions (Sec 2.4): put/get with the contiguous fast path
+// and the full datatype lowering, plus request-based rput/rget.
+//
+// All plain puts/gets are issued as implicit nonblocking NIC operations and
+// completed in bulk by the next synchronization (fence, unlock, flush,
+// complete) — mirroring foMPI, where DMAPP nbi operations are closed by
+// gsync. Request-based variants use explicit handles.
+#include "core/window.hpp"
+
+#include "common/instr.hpp"
+#include "core/win_internal.hpp"
+
+namespace fompi::core {
+
+void Win::resolve_target(int target, std::size_t tdisp, std::size_t len,
+                         rdma::RegionDesc* desc, std::size_t* offset) {
+  Shared& s = sh();
+  switch (s.kind) {
+    case WinKind::created:
+    case WinKind::shared_mem: {
+      const auto idx = static_cast<std::size_t>(target);
+      FOMPI_REQUIRE(tdisp + len <= s.sizes[idx], ErrClass::rma_range,
+                    "access beyond the target window");
+      *desc = s.kind == WinKind::created ? s.data_desc[idx]
+                                         : s.heap->rank_desc(target);
+      *offset = s.kind == WinKind::created ? tdisp : s.heap_off + tdisp;
+      return;
+    }
+    case WinKind::allocated: {
+      // O(1) metadata: one heap descriptor per rank plus the symmetric
+      // offset — no per-window descriptor table (Sec 2.2).
+      FOMPI_REQUIRE(tdisp + len <= s.alloc_bytes, ErrClass::rma_range,
+                    "access beyond the target window");
+      *desc = s.heap->rank_desc(target);
+      *offset = s.heap_off + tdisp;
+      return;
+    }
+    case WinKind::dynamic:
+      resolve_dynamic(target, tdisp, len, desc, offset);
+      return;
+  }
+  raise(ErrClass::internal, "bad window kind");
+}
+
+void Win::put(const void* origin, std::size_t len, int target,
+              std::size_t tdisp) {
+  require_access(target);
+  rdma::RegionDesc desc;
+  std::size_t off = 0;
+  resolve_target(target, tdisp, len, &desc, &off);
+  nic().put_nbi(target, desc, off, origin, len);
+}
+
+void Win::get(void* origin, std::size_t len, int target, std::size_t tdisp) {
+  require_access(target);
+  rdma::RegionDesc desc;
+  std::size_t off = 0;
+  resolve_target(target, tdisp, len, &desc, &off);
+  nic().get_nbi(target, desc, off, origin, len);
+}
+
+void Win::issue_put(const void* origin, int ocount, const dt::Datatype& otype,
+                    int target, std::size_t tdisp, int tcount,
+                    const dt::Datatype& ttype,
+                    std::vector<rdma::Handle>* collect) {
+  require_access(target);
+  // Fast path: both sides contiguous — one transport operation, no
+  // flattening (the ~173-instruction path the paper highlights).
+  if (otype.is_contiguous() && ttype.is_contiguous()) {
+    const std::size_t len = otype.size() * static_cast<std::size_t>(ocount);
+    FOMPI_REQUIRE(len == ttype.size() * static_cast<std::size_t>(tcount),
+                  ErrClass::type, "put: origin/target payload mismatch");
+    rdma::RegionDesc desc;
+    std::size_t off = 0;
+    resolve_target(target, tdisp, len, &desc, &off);
+    if (collect != nullptr) {
+      collect->push_back(nic().put_nb(target, desc, off, origin, len));
+    } else {
+      nic().put_nbi(target, desc, off, origin, len);
+    }
+    return;
+  }
+  // Datatype path: lower both sides to minimal block lists, one operation
+  // per contiguous fragment pair (the MPITypes strategy).
+  std::vector<dt::Block> oblocks, tblocks;
+  otype.flatten(0, ocount, oblocks);
+  ttype.flatten(tdisp, tcount, tblocks);
+  const auto* obase = static_cast<const std::byte*>(origin);
+  dt::pair_blocks(oblocks, tblocks,
+                  [&](std::size_t ooff, std::size_t toff, std::size_t len) {
+                    rdma::RegionDesc desc;
+                    std::size_t off = 0;
+                    resolve_target(target, toff, len, &desc, &off);
+                    if (collect != nullptr) {
+                      collect->push_back(
+                          nic().put_nb(target, desc, off, obase + ooff, len));
+                    } else {
+                      nic().put_nbi(target, desc, off, obase + ooff, len);
+                    }
+                  });
+}
+
+void Win::issue_get(void* origin, int ocount, const dt::Datatype& otype,
+                    int target, std::size_t tdisp, int tcount,
+                    const dt::Datatype& ttype,
+                    std::vector<rdma::Handle>* collect) {
+  require_access(target);
+  if (otype.is_contiguous() && ttype.is_contiguous()) {
+    const std::size_t len = otype.size() * static_cast<std::size_t>(ocount);
+    FOMPI_REQUIRE(len == ttype.size() * static_cast<std::size_t>(tcount),
+                  ErrClass::type, "get: origin/target payload mismatch");
+    rdma::RegionDesc desc;
+    std::size_t off = 0;
+    resolve_target(target, tdisp, len, &desc, &off);
+    if (collect != nullptr) {
+      collect->push_back(nic().get_nb(target, desc, off, origin, len));
+    } else {
+      nic().get_nbi(target, desc, off, origin, len);
+    }
+    return;
+  }
+  std::vector<dt::Block> oblocks, tblocks;
+  otype.flatten(0, ocount, oblocks);
+  ttype.flatten(tdisp, tcount, tblocks);
+  auto* obase = static_cast<std::byte*>(origin);
+  dt::pair_blocks(oblocks, tblocks,
+                  [&](std::size_t ooff, std::size_t toff, std::size_t len) {
+                    rdma::RegionDesc desc;
+                    std::size_t off = 0;
+                    resolve_target(target, toff, len, &desc, &off);
+                    if (collect != nullptr) {
+                      collect->push_back(
+                          nic().get_nb(target, desc, off, obase + ooff, len));
+                    } else {
+                      nic().get_nbi(target, desc, off, obase + ooff, len);
+                    }
+                  });
+}
+
+void Win::put(const void* origin, int ocount, const dt::Datatype& otype,
+              int target, std::size_t tdisp, int tcount,
+              const dt::Datatype& ttype) {
+  issue_put(origin, ocount, otype, target, tdisp, tcount, ttype, nullptr);
+}
+
+void Win::get(void* origin, int ocount, const dt::Datatype& otype, int target,
+              std::size_t tdisp, int tcount, const dt::Datatype& ttype) {
+  issue_get(origin, ocount, otype, target, tdisp, tcount, ttype, nullptr);
+}
+
+RmaRequest Win::rput(const void* origin, std::size_t len, int target,
+                     std::size_t tdisp) {
+  RmaRequest req;
+  req.nic_ = &nic();
+  issue_put(origin, static_cast<int>(len), dt::Datatype::u8(), target, tdisp,
+            static_cast<int>(len), dt::Datatype::u8(), &req.handles_);
+  return req;
+}
+
+RmaRequest Win::rget(void* origin, std::size_t len, int target,
+                     std::size_t tdisp) {
+  RmaRequest req;
+  req.nic_ = &nic();
+  issue_get(origin, static_cast<int>(len), dt::Datatype::u8(), target, tdisp,
+            static_cast<int>(len), dt::Datatype::u8(), &req.handles_);
+  return req;
+}
+
+bool RmaRequest::test() {
+  FOMPI_REQUIRE(valid(), ErrClass::arg, "test on an invalid request");
+  while (!handles_.empty()) {
+    if (!nic_->test(handles_.back())) return false;
+    handles_.pop_back();
+  }
+  nic_ = nullptr;
+  return true;
+}
+
+void RmaRequest::wait() {
+  FOMPI_REQUIRE(valid(), ErrClass::arg, "wait on an invalid request");
+  for (rdma::Handle h : handles_) nic_->wait(h);
+  handles_.clear();
+  nic_ = nullptr;
+}
+
+}  // namespace fompi::core

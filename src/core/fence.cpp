@@ -1,0 +1,30 @@
+// Fence synchronization (Sec 2.3, "Fence") and MPI_Win_sync.
+//
+// MPI_Win_fence closes the previous access+exposure epoch and opens the
+// next one for the whole window. The implementation is exactly the paper's:
+// commit all outstanding operations (mfence + DMAPP gsync equivalent),
+// then a barrier for global completion. O(1) memory, O(log p) time.
+#include "core/window.hpp"
+
+#include "core/win_internal.hpp"
+
+namespace fompi::core {
+
+void Win::fence() {
+  Shared& s = sh();
+  RankState& rs = st();
+  FOMPI_REQUIRE(!rs.lock_all && rs.locks.empty(), ErrClass::rma_sync,
+                "fence inside a passive-target epoch");
+  FOMPI_REQUIRE(!rs.access_group && !rs.exposure_group, ErrClass::rma_sync,
+                "fence inside a PSCW epoch");
+  commit_all();                    // local mfence + bulk remote completion
+  s.fabric->coll().barrier(rank_); // global completion
+  rs.fence_active = true;
+}
+
+void Win::sync() {
+  sh();
+  nic().local_fence();
+}
+
+}  // namespace fompi::core

@@ -1,0 +1,189 @@
+// Passive target synchronization: the two-level lock protocol (Sec 2.3,
+// Fig 3) and the flush family.
+//
+// One global lock word lives at the master (rank 0 of the window); its low
+// half counts lock_all (global shared) holders, its high half counts
+// processes holding at least one exclusive lock. One local lock word per
+// rank implements a reader-writer lock: MSB = writer bit, low bits = shared
+// holder count. The two invariants for a local exclusive lock:
+//   (1) no global shared lock may be held or acquired during it — enforced
+//       by registering in the global writer half and backing off if the
+//       shared half is nonzero;
+//   (2) no local lock may be held — enforced by CAS(local, 0 -> WRITER).
+// All retries use exponential back-off. Shared locks cost one AMO when
+// uncontended; exclusive locks cost two (one if the origin already holds
+// an exclusive lock); unlocks cost one (plus one for the last exclusive).
+#include "core/window.hpp"
+
+#include "common/backoff.hpp"
+#include "common/instr.hpp"
+#include "core/win_internal.hpp"
+
+namespace fompi::core {
+
+namespace {
+constexpr int kMaster = 0;
+}
+
+void Win::lock(LockType type, int target) {
+  Shared& s = sh();
+  RankState& rs = st();
+  FOMPI_REQUIRE(target >= 0 && target < s.nranks, ErrClass::rank,
+                "lock: target out of range");
+  rs.fence_active = false;  // a preceding fence acts as the closing fence
+  FOMPI_REQUIRE(!rs.lock_all, ErrClass::rma_sync,
+                "lock inside a lock_all epoch");
+  FOMPI_REQUIRE(rs.locks.count(target) == 0, ErrClass::rma_sync,
+                "lock: target already locked by this origin");
+  rdma::Nic& n = nic();
+  const auto& tdesc = s.ctrl_desc[static_cast<std::size_t>(target)];
+  const auto& mdesc = s.ctrl_desc[kMaster];
+
+  if (type == LockType::shared) {
+    // One atomic registers the shared lock; if a writer holds the lock we
+    // keep the registration and wait for the writer bit to clear.
+    const std::uint64_t old = n.amo(target, tdesc, CtrlLayout::kLocalLock,
+                                    rdma::AmoOp::fetch_add, 1);
+    if ((old & kWriterBit) != 0) {
+      Backoff backoff;
+      while ((n.amo(target, tdesc, CtrlLayout::kLocalLock, rdma::AmoOp::read,
+                    0) &
+              kWriterBit) != 0) {
+        backoff.pause();
+        s.fabric->check_abort();
+      }
+    }
+  } else {
+    Backoff backoff;
+    while (true) {
+      count(Op::protocol_branch);
+      bool registered_now = false;
+      if (rs.excl_held == 0) {
+        // Invariant (1): register in the global writer half; back off if
+        // any lock_all holder exists.
+        const std::uint64_t old =
+            n.amo(kMaster, mdesc, CtrlLayout::kGlobalLock,
+                  rdma::AmoOp::fetch_add, kGlobalExclUnit);
+        if ((old & kGlobalShrdMask) != 0) {
+          n.amo(kMaster, mdesc, CtrlLayout::kGlobalLock,
+                rdma::AmoOp::fetch_add, ~kGlobalExclUnit + 1);  // -unit
+          backoff.pause();
+          s.fabric->check_abort();
+          continue;
+        }
+        registered_now = true;
+      }
+      // Invariant (2): the local lock must be completely free.
+      const std::uint64_t old = n.amo(target, tdesc, CtrlLayout::kLocalLock,
+                                      rdma::AmoOp::cas, kWriterBit, 0);
+      if (old == 0) break;
+      if (registered_now) {
+        // Release the global registration while waiting, so lock_all
+        // requests are not starved (the paper's two-step retry).
+        n.amo(kMaster, mdesc, CtrlLayout::kGlobalLock, rdma::AmoOp::fetch_add,
+              ~kGlobalExclUnit + 1);
+      }
+      backoff.pause();
+      s.fabric->check_abort();
+    }
+    ++rs.excl_held;
+  }
+  rs.locks.emplace(target, type);
+}
+
+void Win::unlock(int target) {
+  Shared& s = sh();
+  RankState& rs = st();
+  const auto it = rs.locks.find(target);
+  FOMPI_REQUIRE(it != rs.locks.end(), ErrClass::rma_sync,
+                "unlock: target not locked");
+  // The epoch's operations must be remotely complete before the lock is
+  // observable as released.
+  commit_all();
+  rdma::Nic& n = nic();
+  const auto& tdesc = s.ctrl_desc[static_cast<std::size_t>(target)];
+  if (it->second == LockType::shared) {
+    n.amo(target, tdesc, CtrlLayout::kLocalLock, rdma::AmoOp::fetch_add,
+          ~std::uint64_t{0});  // -1
+  } else {
+    n.amo(target, tdesc, CtrlLayout::kLocalLock, rdma::AmoOp::fetch_add,
+          ~kWriterBit + 1);  // clear the writer bit
+    --rs.excl_held;
+    if (rs.excl_held == 0) {
+      n.amo(kMaster, s.ctrl_desc[kMaster], CtrlLayout::kGlobalLock,
+            rdma::AmoOp::fetch_add, ~kGlobalExclUnit + 1);
+    }
+  }
+  rs.locks.erase(it);
+}
+
+void Win::lock_all() {
+  Shared& s = sh();
+  RankState& rs = st();
+  FOMPI_REQUIRE(!rs.lock_all, ErrClass::rma_sync, "lock_all already held");
+  FOMPI_REQUIRE(rs.locks.empty(), ErrClass::rma_sync,
+                "lock_all while holding per-target locks");
+  rs.fence_active = false;  // a preceding fence acts as the closing fence
+  rdma::Nic& n = nic();
+  const auto& mdesc = s.ctrl_desc[kMaster];
+  Backoff backoff;
+  while (true) {
+    const std::uint64_t old = n.amo(kMaster, mdesc, CtrlLayout::kGlobalLock,
+                                    rdma::AmoOp::fetch_add, 1);
+    if ((old >> 32) == 0) break;  // no exclusive holder registered
+    n.amo(kMaster, mdesc, CtrlLayout::kGlobalLock, rdma::AmoOp::fetch_add,
+          ~std::uint64_t{0});
+    backoff.pause();
+    s.fabric->check_abort();
+  }
+  rs.lock_all = true;
+}
+
+void Win::unlock_all() {
+  Shared& s = sh();
+  RankState& rs = st();
+  FOMPI_REQUIRE(rs.lock_all, ErrClass::rma_sync,
+                "unlock_all without lock_all");
+  commit_all();
+  nic().amo(kMaster, s.ctrl_desc[kMaster], CtrlLayout::kGlobalLock,
+            rdma::AmoOp::fetch_add, ~std::uint64_t{0});
+  rs.lock_all = false;
+}
+
+// ---------------------------------------------------------------------------
+// Flush family (Sec 2.3, "Flush"): remote bulk completion + memory fence.
+// All four calls share one implementation, as in foMPI.
+// ---------------------------------------------------------------------------
+
+namespace {
+void require_passive(const char* what, bool lock_all, bool any_lock) {
+  FOMPI_REQUIRE(lock_all || any_lock, ErrClass::rma_sync,
+                std::string(what) + " requires a passive-target epoch");
+}
+}  // namespace
+
+void Win::flush(int target) {
+  RankState& rs = st();
+  require_passive("flush", rs.lock_all, rs.locks.count(target) != 0);
+  commit_all();
+}
+
+void Win::flush_local(int target) {
+  RankState& rs = st();
+  require_passive("flush_local", rs.lock_all, rs.locks.count(target) != 0);
+  commit_all();
+}
+
+void Win::flush_all() {
+  RankState& rs = st();
+  require_passive("flush_all", rs.lock_all, !rs.locks.empty());
+  commit_all();
+}
+
+void Win::flush_local_all() {
+  RankState& rs = st();
+  require_passive("flush_local_all", rs.lock_all, !rs.locks.empty());
+  commit_all();
+}
+
+}  // namespace fompi::core

@@ -1,0 +1,72 @@
+#include "core/mcs_lock.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "core/win_internal.hpp"
+
+namespace fompi::core {
+
+namespace {
+
+std::atomic_ref<std::uint64_t> local_word(Win& win, std::size_t disp) {
+  auto* p = reinterpret_cast<std::uint64_t*>(
+      static_cast<std::byte*>(win.base()) + disp);
+  return std::atomic_ref<std::uint64_t>(*p);
+}
+
+}  // namespace
+
+void McsLock::acquire() {
+  last_ops_ = 0;
+  const std::uint64_t mine = static_cast<std::uint64_t>(win_.rank()) + 1;
+  // Prepare our queue node before publishing it.
+  local_word(win_, disp_ + kNext).store(0, std::memory_order_relaxed);
+  local_word(win_, disp_ + kLocked).store(1, std::memory_order_release);
+
+  // Enqueue: one remote SWAP on the tail.
+  std::uint64_t prev = 0;
+  win_.fetch_and_op(&mine, &prev, Elem::u64, RedOp::replace, master_,
+                    disp_ + kTail);
+  ++last_ops_;
+  if (prev == 0) return;  // lock was free
+
+  // Link behind the predecessor: one remote SWAP on its next pointer.
+  const int pred = static_cast<int>(prev - 1);
+  std::uint64_t ignored = 0;
+  win_.fetch_and_op(&mine, &ignored, Elem::u64, RedOp::replace, pred,
+                    disp_ + kNext);
+  ++last_ops_;
+
+  // Spin on our own flag — purely local memory, zero remote traffic.
+  auto flag = local_word(win_, disp_ + kLocked);
+  while (flag.load(std::memory_order_acquire) != 0) {
+    win_.rank();  // cheap; the real politeness is the yield below
+    std::this_thread::yield();
+  }
+}
+
+void McsLock::release() {
+  const std::uint64_t mine = static_cast<std::uint64_t>(win_.rank()) + 1;
+  auto next = local_word(win_, disp_ + kNext);
+  if (next.load(std::memory_order_acquire) == 0) {
+    // No known successor: try to swing the tail back to free.
+    const std::uint64_t zero = 0;
+    std::uint64_t prev = 0;
+    win_.compare_and_swap(&zero, &mine, &prev, Elem::u64, master_,
+                          disp_ + kTail);
+    if (prev == mine) return;  // nobody queued behind us
+    // A successor is in the middle of linking: wait for the pointer.
+    while (next.load(std::memory_order_acquire) == 0) {
+      std::this_thread::yield();
+    }
+  }
+  const int succ =
+      static_cast<int>(next.load(std::memory_order_acquire) - 1);
+  const std::uint64_t zero = 0;
+  std::uint64_t ignored = 0;
+  win_.fetch_and_op(&zero, &ignored, Elem::u64, RedOp::replace, succ,
+                    disp_ + kLocked);
+}
+
+}  // namespace fompi::core

@@ -1,0 +1,48 @@
+// MCS queue lock over window memory (Sec 2.3: "The number of remote
+// requests while waiting can be bound by using MCS locks [24]").
+//
+// The two-level lock protocol retries remotely under contention; an MCS
+// lock bounds remote traffic to O(1) per acquisition: a contender enqueues
+// itself with one remote SWAP on the tail word, links behind its
+// predecessor with one remote put, and then spins on its *own* flag word —
+// which lives in its own window segment, so the wait is purely local.
+// bench_ablation_locks compares the two under contention.
+//
+// Memory layout inside an allocated window (per rank, 8-byte words):
+//   word 0 at the master rank : tail (0 = free, r+1 = rank r is last)
+//   word 1 (every rank)       : next (0 = none, r+1 = successor rank)
+//   word 2 (every rank)       : locked flag (1 = wait, 0 = go)
+#pragma once
+
+#include "core/window.hpp"
+
+namespace fompi::core {
+
+class McsLock {
+ public:
+  /// The window must be an allocated window with >= 24 bytes per rank at
+  /// byte displacement `disp`; all participating ranks must construct the
+  /// lock with the same master and displacement, and access it inside a
+  /// lock_all (or equivalent passive) epoch.
+  McsLock(Win& win, int master, std::size_t disp = 0)
+      : win_(win), master_(master), disp_(disp) {}
+
+  /// Number of remote operations issued by the last acquire() (for the
+  /// ablation bench: bounded for MCS, unbounded for the two-level lock).
+  int last_acquire_remote_ops() const noexcept { return last_ops_; }
+
+  void acquire();
+  void release();
+
+ private:
+  static constexpr std::size_t kTail = 0;
+  static constexpr std::size_t kNext = 8;
+  static constexpr std::size_t kLocked = 16;
+
+  Win& win_;
+  int master_;
+  std::size_t disp_;
+  int last_ops_ = 0;
+};
+
+}  // namespace fompi::core

@@ -1,0 +1,67 @@
+// Notified access extension (the paper's outlook: "scalable synchronization
+// algorithms developed in this work will act as a blue print for optimized
+// MPI-3.0 RMA implementations"; foMPI later grew exactly this interface —
+// put-with-notification, Belli & Hoefler, IPDPS'15).
+//
+// A notified put transfers data and atomically increments a notification
+// counter at the target once the data is remotely complete; the target
+// waits on counters instead of heavyweight epochs. This turns the paper's
+// MILC communication scheme (put + separate flag AMO + flush) into a
+// single call and halves its critical path.
+//
+// Notifications are matched by a small id space per window; each (window,
+// id) pair is an independent counter. Waiting is purely local.
+#pragma once
+
+#include "core/window.hpp"
+
+namespace fompi::core {
+
+class NotifyWin {
+ public:
+  /// Collective. Wraps an allocated window of `bytes` per rank plus
+  /// `num_ids` notification counters. The window is held in a lock_all
+  /// epoch for its lifetime (passive target, as the extension prescribes).
+  NotifyWin(fabric::RankCtx& ctx, std::size_t bytes, int num_ids,
+            WinConfig cfg = {});
+  /// Collective.
+  void destroy(fabric::RankCtx& ctx);
+
+  void* base();
+  std::size_t size() const { return bytes_; }
+  int num_ids() const { return num_ids_; }
+
+  /// Puts `len` bytes at (target, tdisp), guarantees remote completion,
+  /// then increments notification `id` at the target. The call returns
+  /// after the notification is committed (flush + AMO).
+  void put_notify(const void* src, std::size_t len, int target,
+                  std::size_t tdisp, int id);
+
+  /// Pipelined variant: issues the put nonblocking and records the
+  /// notification; commit_notifications() completes all payloads with one
+  /// flush, then delivers all pending notifications with a second flush —
+  /// two bulk completions for any number of neighbors instead of two per
+  /// call.
+  void put_notify_async(const void* src, std::size_t len, int target,
+                        std::size_t tdisp, int id);
+  void commit_notifications();
+
+  /// Number of outstanding notifications for `id` (local, nonblocking).
+  std::uint64_t test_notify(int id);
+  /// Blocks until at least `count` notifications arrived on `id`, then
+  /// consumes them. Includes the memory fence that makes the notified
+  /// data readable.
+  void wait_notify(int id, std::uint64_t count = 1);
+
+ private:
+  std::size_t notify_off(int id) const {
+    return bytes_ + 8 * static_cast<std::size_t>(id);
+  }
+
+  std::size_t bytes_ = 0;
+  int num_ids_ = 0;
+  Win win_;
+  std::vector<std::pair<int, int>> pending_;  // (target, id)
+};
+
+}  // namespace fompi::core

@@ -1,0 +1,58 @@
+#include "core/ops.hpp"
+
+#include <type_traits>
+
+namespace fompi {
+
+const char* to_string(Elem e) noexcept {
+  switch (e) {
+    case Elem::i32: return "i32";
+    case Elem::i64: return "i64";
+    case Elem::u64: return "u64";
+    case Elem::f32: return "f32";
+    case Elem::f64: return "f64";
+  }
+  return "unknown";
+}
+
+const char* to_string(RedOp op) noexcept {
+  switch (op) {
+    case RedOp::sum:     return "sum";
+    case RedOp::prod:    return "prod";
+    case RedOp::min:     return "min";
+    case RedOp::max:     return "max";
+    case RedOp::band:    return "band";
+    case RedOp::bor:     return "bor";
+    case RedOp::bxor:    return "bxor";
+    case RedOp::replace: return "replace";
+    case RedOp::no_op:   return "no_op";
+  }
+  return "unknown";
+}
+
+namespace {
+
+template <class T>
+void combine_span(RedOp op, void* target, const void* origin, std::size_t n) {
+  auto* t = static_cast<T*>(target);
+  const auto* o = static_cast<const T*>(origin);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = detail::combine_typed<T>(op, t[i], o[i]);
+  }
+}
+
+}  // namespace
+
+void combine(Elem e, RedOp op, void* target, const void* origin,
+             std::size_t n) {
+  switch (e) {
+    case Elem::i32: combine_span<std::int32_t>(op, target, origin, n); return;
+    case Elem::i64: combine_span<std::int64_t>(op, target, origin, n); return;
+    case Elem::u64: combine_span<std::uint64_t>(op, target, origin, n); return;
+    case Elem::f32: combine_span<float>(op, target, origin, n); return;
+    case Elem::f64: combine_span<double>(op, target, origin, n); return;
+  }
+  raise(ErrClass::type, "bad element type");
+}
+
+}  // namespace fompi

@@ -1,0 +1,101 @@
+// Element types and reduction operations for the accumulate family.
+//
+// MPI accumulates apply a predefined reduction elementwise. The simulated
+// NIC (like DMAPP) accelerates only 8-byte integer SUM/AND/OR/XOR/REPLACE;
+// every other (op, type) pair takes foMPI's fallback protocol
+// (lock target region - get - combine locally - put - unlock). The split is
+// what produces the two distinct curves of Fig 6a.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "rdma/amo.hpp"
+
+namespace fompi {
+
+/// Predefined element types usable with accumulate operations.
+enum class Elem : std::uint8_t { i32, i64, u64, f32, f64 };
+
+/// Predefined reduction operations.
+enum class RedOp : std::uint8_t {
+  sum, prod, min, max, band, bor, bxor, replace, no_op
+};
+
+const char* to_string(Elem e) noexcept;
+const char* to_string(RedOp op) noexcept;
+
+inline std::size_t elem_size(Elem e) noexcept {
+  switch (e) {
+    case Elem::i32: case Elem::f32: return 4;
+    case Elem::i64: case Elem::u64: case Elem::f64: return 8;
+  }
+  return 0;
+}
+
+/// True if the (op, type) pair maps to one hardware AMO per element.
+inline bool amo_accelerated(Elem e, RedOp op) noexcept {
+  const bool int64 = e == Elem::i64 || e == Elem::u64;
+  if (!int64) return false;
+  switch (op) {
+    case RedOp::sum:
+    case RedOp::band:
+    case RedOp::bor:
+    case RedOp::bxor:
+    case RedOp::replace:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The AMO opcode implementing an accelerated (op, 8-byte int) pair.
+inline rdma::AmoOp amo_opcode(RedOp op) {
+  switch (op) {
+    case RedOp::sum:     return rdma::AmoOp::fetch_add;
+    case RedOp::band:    return rdma::AmoOp::fetch_and;
+    case RedOp::bor:     return rdma::AmoOp::fetch_or;
+    case RedOp::bxor:    return rdma::AmoOp::fetch_xor;
+    case RedOp::replace: return rdma::AmoOp::swap;
+    default: break;
+  }
+  raise(ErrClass::op, "reduction op is not hardware-accelerated");
+}
+
+namespace detail {
+
+template <class T>
+T combine_typed(RedOp op, T acc, T v) {
+  switch (op) {
+    case RedOp::sum:     return static_cast<T>(acc + v);
+    case RedOp::prod:    return static_cast<T>(acc * v);
+    case RedOp::min:     return v < acc ? v : acc;
+    case RedOp::max:     return v > acc ? v : acc;
+    case RedOp::replace: return v;
+    case RedOp::no_op:   return acc;
+    case RedOp::band:
+    case RedOp::bor:
+    case RedOp::bxor:
+      if constexpr (std::is_integral_v<T>) {
+        switch (op) {
+          case RedOp::band: return static_cast<T>(acc & v);
+          case RedOp::bor:  return static_cast<T>(acc | v);
+          default:          return static_cast<T>(acc ^ v);
+        }
+      } else {
+        raise(ErrClass::op, "bitwise reduction on floating-point type");
+      }
+  }
+  raise(ErrClass::op, "bad reduction op");
+}
+
+}  // namespace detail
+
+/// Combines `target` (accumulator) with `origin` elementwise:
+/// target[i] = op(target[i], origin[i]) for `n` elements of type `e`.
+void combine(Elem e, RedOp op, void* target, const void* origin,
+             std::size_t n);
+
+}  // namespace fompi

@@ -1,0 +1,150 @@
+// General active target synchronization (PSCW; Sec 2.3 and Fig 2).
+//
+// The scalable matching protocol: a process posting an exposure epoch
+// announces itself by writing its rank into a matching list *local to each
+// origin* in the group; the origin's start() spins on its own memory until
+// every target of its access group is present. The matching list storage is
+// managed remotely and without any receiver involvement: a poster acquires
+// a free element with remote CAS operations (the free-storage management of
+// Fig 2c — here a CAS scan over the fixed-capacity slot array, starting at
+// a hashed position). wait() blocks on a completion counter that each
+// complete() increments remotely after committing its epoch's operations.
+//
+// post/complete issue O(k) messages for k neighbors; start/wait issue none.
+#include "core/window.hpp"
+
+#include "common/backoff.hpp"
+#include "common/instr.hpp"
+#include "core/win_internal.hpp"
+
+namespace fompi::core {
+
+namespace {
+/// Encoded slot value for a poster: rank + 1 (0 means "free").
+std::uint64_t slot_value(int rank) {
+  return static_cast<std::uint64_t>(rank) + 1;
+}
+}  // namespace
+
+void Win::post(const fabric::Group& group) {
+  Shared& s = sh();
+  RankState& rs = st();
+  FOMPI_REQUIRE(!rs.exposure_group, ErrClass::rma_sync,
+                "post: exposure epoch already open");
+  rs.fence_active = false;  // a preceding fence acts as the closing fence
+  const CtrlLayout& L = s.layout;
+  rdma::Nic& n = nic();
+  // Make prior local stores to the exposed memory visible before any
+  // origin can observe the post.
+  n.local_fence();
+  for (int origin : group) {
+    FOMPI_REQUIRE(origin >= 0 && origin < s.nranks, ErrClass::rank,
+                  "post: origin out of range");
+    // Free-storage management: acquire a free matching-list element at the
+    // origin via remote CAS, starting at a position hashed by our rank to
+    // spread concurrent posters.
+    const int cap = L.max_neighbors;
+    Backoff backoff;
+    bool placed = false;
+    for (int sweep = 0; !placed; ++sweep) {
+      FOMPI_REQUIRE(sweep < 64, ErrClass::rma_sync,
+                    "post: matching list full (raise WinConfig::max_neighbors)");
+      for (int i = 0; i < cap; ++i) {
+        const int slot = (rank_ + i) % cap;
+        const std::uint64_t old =
+            n.amo(origin, s.ctrl_desc[static_cast<std::size_t>(origin)],
+                  L.slot_off(slot), rdma::AmoOp::cas, slot_value(rank_),
+                  /*compare=*/0);
+        count(Op::protocol_branch);
+        if (old == 0) {
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) backoff.pause();
+    }
+  }
+  rs.exposure_group = group;
+}
+
+void Win::start(const fabric::Group& group) {
+  Shared& s = sh();
+  RankState& rs = st();
+  FOMPI_REQUIRE(!rs.access_group, ErrClass::rma_sync,
+                "start: access epoch already open");
+  rs.fence_active = false;  // a preceding fence acts as the closing fence
+  const CtrlLayout& L = s.layout;
+  // Wait (purely locally) until every target of the access group has
+  // announced its matching post, consuming one announcement each.
+  for (int target : group) {
+    FOMPI_REQUIRE(target >= 0 && target < s.nranks, ErrClass::rank,
+                  "start: target out of range");
+    const std::uint64_t want = slot_value(target);
+    bool found = false;
+    while (!found) {
+      for (int slot = 0; slot < L.max_neighbors; ++slot) {
+        auto word = s.ctrl_word(rank_, L.slot_off(slot));
+        if (word.load(std::memory_order_acquire) != want) continue;
+        // Consume: only the local rank removes entries, so a plain
+        // exchange is race-free against remote CAS(0 -> v) insertions.
+        if (word.exchange(0, std::memory_order_acq_rel) == want) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) s.fabric->yield_check();
+    }
+  }
+  rs.access_group = group;
+}
+
+void Win::complete() {
+  Shared& s = sh();
+  RankState& rs = st();
+  FOMPI_REQUIRE(rs.access_group.has_value(), ErrClass::rma_sync,
+                "complete without a matching start");
+  // Guarantee remote visibility of every RMA operation of this epoch, then
+  // bump each exposure side's completion counter.
+  commit_all();
+  rdma::Nic& n = nic();
+  for (int target : *rs.access_group) {
+    n.amo(target, s.ctrl_desc[static_cast<std::size_t>(target)],
+          CtrlLayout::kCompletion, rdma::AmoOp::fetch_add, 1);
+  }
+  rs.access_group.reset();
+}
+
+void Win::wait() {
+  Shared& s = sh();
+  RankState& rs = st();
+  FOMPI_REQUIRE(rs.exposure_group.has_value(), ErrClass::rma_sync,
+                "wait without a matching post");
+  const auto expected =
+      static_cast<std::uint64_t>(rs.exposure_group->size());
+  auto counter = s.ctrl_word(rank_, CtrlLayout::kCompletion);
+  while (counter.load(std::memory_order_acquire) < expected) {
+    s.fabric->yield_check();
+  }
+  counter.fetch_sub(expected, std::memory_order_acq_rel);
+  // The origins' puts are already globally visible (they committed before
+  // incrementing the counter); a local fence orders our subsequent reads.
+  nic().local_fence();
+  rs.exposure_group.reset();
+}
+
+bool Win::test() {
+  Shared& s = sh();
+  RankState& rs = st();
+  FOMPI_REQUIRE(rs.exposure_group.has_value(), ErrClass::rma_sync,
+                "test without a matching post");
+  const auto expected =
+      static_cast<std::uint64_t>(rs.exposure_group->size());
+  auto counter = s.ctrl_word(rank_, CtrlLayout::kCompletion);
+  if (counter.load(std::memory_order_acquire) < expected) return false;
+  counter.fetch_sub(expected, std::memory_order_acq_rel);
+  nic().local_fence();
+  rs.exposure_group.reset();
+  return true;
+}
+
+}  // namespace fompi::core

@@ -1,0 +1,110 @@
+#include "core/sym_heap.hpp"
+
+#include "common/instr.hpp"
+
+namespace fompi::core {
+
+namespace {
+constexpr std::size_t kAlign = 64;
+constexpr int kMaxProposals = 1000;
+
+std::size_t round_up(std::size_t v) { return (v + kAlign - 1) / kAlign * kAlign; }
+}  // namespace
+
+SymHeap::SymHeap(rdma::Domain& domain, std::size_t per_rank_bytes)
+    : per_rank_(round_up(per_rank_bytes)),
+      arena_(per_rank_ * static_cast<std::size_t>(domain.nranks())),
+      propose_rng_(domain.config().seed ^ 0x5ee7c0de) {
+  descs_.reserve(static_cast<std::size_t>(domain.nranks()));
+  for (int r = 0; r < domain.nranks(); ++r) {
+    descs_.push_back(domain.registry().register_region(
+        r, arena_.data() + static_cast<std::size_t>(r) * per_rank_,
+        per_rank_));
+  }
+}
+
+bool SymHeap::range_free(std::size_t offset, std::size_t bytes) const {
+  if (offset + bytes > per_rank_) return false;
+  // First allocation at or after `offset` must start at >= offset+bytes,
+  // and the previous allocation must end at <= offset.
+  auto it = live_.lower_bound(offset);
+  if (it != live_.end() && it->first < offset + bytes) return false;
+  if (it != live_.begin()) {
+    --it;
+    if (it->first + it->second > offset) return false;
+  }
+  return true;
+}
+
+std::size_t SymHeap::allocate(fabric::RankCtx& ctx, std::size_t bytes,
+                              int* attempts_out) {
+  const std::size_t need = round_up(bytes == 0 ? kAlign : bytes);
+  int attempts = 0;
+  std::size_t winner = 0;
+  while (true) {
+    ++attempts;
+    FOMPI_REQUIRE(attempts <= kMaxProposals, ErrClass::no_mem,
+                  "symmetric heap: no common offset found");
+    // Leader proposes a random aligned offset (the paper's random mmap
+    // address), broadcast to all ranks.
+    std::size_t proposal = 0;
+    if (ctx.rank() == 0) {
+      std::scoped_lock lock(mu_);
+      FOMPI_REQUIRE(need <= per_rank_, ErrClass::no_mem,
+                    "allocation exceeds symmetric heap capacity");
+      const std::size_t slots = (per_rank_ - need) / kAlign + 1;
+      proposal = propose_rng_.below(slots) * kAlign;
+    }
+    ctx.bcast(0, &proposal, 1);
+    // Every rank independently "tries the mmap": checks the proposal
+    // against its own (identical) occupancy map.
+    int ok;
+    {
+      std::scoped_lock lock(mu_);
+      ok = range_free(proposal, need) ? 1 : 0;
+    }
+    int all_ok = 0;
+    ctx.allreduce(&ok, &all_ok, 1, [](int a, int b) { return a & b; });
+    if (all_ok == 1) {
+      if (ctx.rank() == 0) {
+        std::scoped_lock lock(mu_);
+        live_.emplace(proposal, need);
+      }
+      winner = proposal;
+      ctx.barrier();  // commit visible before anyone uses the block
+      break;
+    }
+    count(Op::retry);
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return winner;
+}
+
+void SymHeap::deallocate(fabric::RankCtx& ctx, std::size_t offset) {
+  ctx.barrier();  // all ranks done with the block
+  if (ctx.rank() == 0) {
+    std::scoped_lock lock(mu_);
+    const auto it = live_.find(offset);
+    FOMPI_REQUIRE(it != live_.end(), ErrClass::arg,
+                  "symmetric heap: unknown allocation offset");
+    live_.erase(it);
+  }
+  ctx.barrier();
+}
+
+std::byte* SymHeap::rank_ptr(int rank, std::size_t offset) {
+  return arena_.data() + static_cast<std::size_t>(rank) * per_rank_ + offset;
+}
+
+const rdma::RegionDesc& SymHeap::rank_desc(int rank) const {
+  return descs_.at(static_cast<std::size_t>(rank));
+}
+
+std::size_t SymHeap::allocated_bytes() const {
+  std::scoped_lock lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [off, len] : live_) total += len;
+  return total;
+}
+
+}  // namespace fompi::core

@@ -1,0 +1,69 @@
+// Symmetric heap for allocated windows (Sec 2.2, "Allocated Windows").
+//
+// The paper's protocol: a leader draws a random base address, broadcasts
+// it, every process tries to mmap() that exact address, and an Allreduce
+// decides whether to retry — yielding identical base addresses everywhere,
+// so remote access needs O(1) metadata instead of Ω(p) per-rank bases.
+//
+// In the simulation all ranks share one OS address space, so "the same
+// virtual address in every process" becomes "the same offset into every
+// rank's heap segment": one arena holds p equally-sized segments, each
+// registered once, and a window allocation is a single offset valid for
+// every rank. The random-propose / try / allreduce / retry loop is kept
+// verbatim (including its failure path, which tests exercise by filling
+// the heap).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/rng.hpp"
+#include "fabric/fabric.hpp"
+#include "rdma/region.hpp"
+
+namespace fompi::core {
+
+class SymHeap {
+ public:
+  /// Builds the arena and registers every rank's segment. Constructed by
+  /// one rank; shared by all (fabric extension slot).
+  SymHeap(rdma::Domain& domain, std::size_t per_rank_bytes);
+
+  std::size_t capacity() const noexcept { return per_rank_; }
+
+  /// Collective: allocates `bytes` at one symmetric offset on every rank
+  /// using the propose/try/allreduce protocol. Returns the offset.
+  /// `attempts_out`, if nonnull, receives the number of proposal rounds
+  /// (of interest to the ablation bench). Raises FOMPI_ERR_NO_MEM after
+  /// too many failed proposals.
+  std::size_t allocate(fabric::RankCtx& ctx, std::size_t bytes,
+                       int* attempts_out = nullptr);
+
+  /// Collective: releases an allocation made by allocate().
+  void deallocate(fabric::RankCtx& ctx, std::size_t offset);
+
+  /// Local address of (rank, offset).
+  std::byte* rank_ptr(int rank, std::size_t offset);
+  /// The rank's registered segment descriptor (remote access metadata —
+  /// one descriptor per rank for the whole heap, amortized O(1) per
+  /// window).
+  const rdma::RegionDesc& rank_desc(int rank) const;
+
+  /// Bytes currently allocated (per rank).
+  std::size_t allocated_bytes() const;
+
+ private:
+  bool range_free(std::size_t offset, std::size_t bytes) const;
+
+  std::size_t per_rank_;
+  AlignedBuffer arena_;
+  std::vector<rdma::RegionDesc> descs_;
+  mutable std::mutex mu_;
+  std::map<std::size_t, std::size_t> live_;  // offset -> length
+  Rng propose_rng_;
+};
+
+}  // namespace fompi::core

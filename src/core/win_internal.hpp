@@ -1,0 +1,122 @@
+// Internal window state shared by the core implementation files.
+// Not part of the public API.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/buffer.hpp"
+#include "core/window.hpp"
+
+namespace fompi::core {
+
+enum class WinKind : std::uint8_t { created, allocated, dynamic, shared_mem };
+
+/// Byte offsets of the protocol words in each rank's window control block.
+/// Every word is 8 bytes and accessed exclusively through atomics/AMOs.
+struct CtrlLayout {
+  static constexpr std::size_t kCompletion = 0;  ///< PSCW completion counter
+  static constexpr std::size_t kLocalLock = 8;   ///< reader-writer lock word
+  static constexpr std::size_t kGlobalLock = 16; ///< global lock (master only)
+  static constexpr std::size_t kAccLock = 24;    ///< accumulate fallback lock
+  static constexpr std::size_t kDynId = 32;      ///< dynamic attach epoch id
+  static constexpr std::size_t kDynInval = 40;   ///< cache invalidation flag
+  static constexpr std::size_t kSlots = 48;      ///< PSCW matching list
+
+  explicit CtrlLayout(const WinConfig& cfg)
+      : max_neighbors(cfg.max_neighbors),
+        max_dyn(cfg.max_dyn_regions),
+        max_cachers(cfg.max_cachers) {}
+
+  int max_neighbors;
+  int max_dyn;
+  int max_cachers;
+
+  /// Dynamic directory entry: {addr, size, rkey, seq} as four u64 words.
+  static constexpr std::size_t kDynEntryBytes = 32;
+
+  std::size_t slot_off(int i) const {
+    return kSlots + 8 * static_cast<std::size_t>(i);
+  }
+  std::size_t dyndir_off(int i = 0) const {
+    return kSlots + 8 * static_cast<std::size_t>(max_neighbors) +
+           kDynEntryBytes * static_cast<std::size_t>(i);
+  }
+  std::size_t cachers_off(int i = 0) const {
+    return dyndir_off(max_dyn) + 8 * static_cast<std::size_t>(i);
+  }
+  std::size_t total_bytes() const { return cachers_off(max_cachers); }
+};
+
+/// The local-lock word: MSB = writer bit, low bits = reader count (Fig 3a).
+inline constexpr std::uint64_t kWriterBit = 1ull << 63;
+/// The global-lock word: high 32 bits count processes holding exclusive
+/// locks, low 32 bits count lock_all (global shared) holders (Fig 3a).
+inline constexpr std::uint64_t kGlobalExclUnit = 1ull << 32;
+inline constexpr std::uint64_t kGlobalShrdMask = 0xffffffffull;
+
+struct Win::Shared {
+  WinKind kind = WinKind::created;
+  WinConfig cfg{};
+  CtrlLayout layout{cfg};
+  fabric::Fabric* fabric = nullptr;
+  int nranks = 0;
+
+  // Per-rank control blocks (protocol words), registered for AMOs.
+  std::vector<AlignedBuffer> ctrl_mem;
+  std::vector<rdma::RegionDesc> ctrl_desc;
+
+  // Static windows (created / shared): Ω(p) descriptor table.
+  std::vector<rdma::RegionDesc> data_desc;
+  std::vector<std::byte*> bases;
+  std::vector<std::size_t> sizes;
+
+  // Allocated windows: O(1) metadata — heap handle plus one offset.
+  std::shared_ptr<SymHeap> heap;
+  std::size_t heap_off = 0;
+  std::size_t alloc_bytes = 0;
+  int alloc_attempts = 0;
+
+  bool freed = false;
+
+  std::atomic_ref<std::uint64_t> ctrl_word(int rank, std::size_t off) {
+    auto* p = reinterpret_cast<std::uint64_t*>(
+        ctrl_mem[static_cast<std::size_t>(rank)].data() + off);
+    return std::atomic_ref<std::uint64_t>(*p);
+  }
+};
+
+struct Win::RankState {
+  // --- epoch bookkeeping --------------------------------------------------
+  bool fence_active = false;
+  bool lock_all = false;
+  std::map<int, LockType> locks;  // held passive-target locks
+  int excl_held = 0;              // exclusive locks currently held
+  std::optional<fabric::Group> access_group;
+  std::optional<fabric::Group> exposure_group;
+
+  // --- dynamic-window descriptor cache (per target) -------------------------
+  struct DynEntry {
+    std::uint64_t addr = 0;
+    std::uint64_t size = 0;
+    std::uint64_t rkey = 0;
+  };
+  struct DynCache {
+    std::uint64_t id = ~std::uint64_t{0};
+    std::vector<DynEntry> entries;
+    bool registered = false;  // cacher-list registration (DynMode::notify)
+  };
+  std::vector<DynCache> dyn_cache;
+
+  // Regions this rank attached: base -> (rkey, slot index).
+  struct Attached {
+    std::uint64_t rkey;
+    int slot;
+    std::size_t size;
+  };
+  std::map<const void*, Attached> attached;
+};
+
+}  // namespace fompi::core

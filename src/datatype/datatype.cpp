@@ -1,0 +1,355 @@
+#include "datatype/datatype.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fompi::dt {
+
+struct Datatype::Node {
+  enum class Kind : std::uint8_t { basic, hvector, pieces, resized } kind;
+  std::string name;
+  std::size_t size = 0;       // payload bytes per element
+  std::ptrdiff_t lb = 0;      // lower bound
+  std::size_t extent = 0;     // span per element
+  bool contig = false;
+
+  // hvector
+  int count = 0;
+  int blocklen = 0;
+  std::ptrdiff_t stride = 0;
+  std::shared_ptr<const Node> child;
+
+  // pieces (hindexed / struct)
+  struct Piece {
+    std::ptrdiff_t displ;
+    int blocklen;
+    std::shared_ptr<const Node> type;
+  };
+  std::vector<Piece> pieces;
+};
+
+namespace {
+
+void emit_block(std::vector<Block>& out, std::ptrdiff_t offset,
+                std::size_t len) {
+  if (len == 0) return;
+  FOMPI_REQUIRE(offset >= 0, ErrClass::type,
+                "datatype flattens to a negative offset");
+  const auto off = static_cast<std::size_t>(offset);
+  if (!out.empty() && out.back().offset + out.back().len == off) {
+    out.back().len += len;  // merge adjacent blocks: minimal block count
+    return;
+  }
+  out.push_back(Block{off, len});
+}
+
+}  // namespace
+
+const Datatype::Node& Datatype::node() const {
+  FOMPI_REQUIRE(node_ != nullptr, ErrClass::type, "use of an empty datatype");
+  return *node_;
+}
+
+namespace {
+
+void flatten_node(const Datatype::Node& n, std::ptrdiff_t offset,
+                  std::vector<Block>& out) {
+  if (n.contig) {
+    emit_block(out, offset + n.lb, n.size);
+    return;
+  }
+  switch (n.kind) {
+    case Datatype::Node::Kind::basic:
+      emit_block(out, offset, n.size);
+      break;
+    case Datatype::Node::Kind::hvector:
+      for (int i = 0; i < n.count; ++i) {
+        const std::ptrdiff_t block_base = offset + i * n.stride;
+        for (int j = 0; j < n.blocklen; ++j) {
+          flatten_node(*n.child,
+                       block_base +
+                           j * static_cast<std::ptrdiff_t>(n.child->extent),
+                       out);
+        }
+      }
+      break;
+    case Datatype::Node::Kind::pieces:
+      for (const auto& piece : n.pieces) {
+        for (int j = 0; j < piece.blocklen; ++j) {
+          flatten_node(
+              *piece.type,
+              offset + piece.displ +
+                  j * static_cast<std::ptrdiff_t>(piece.type->extent),
+              out);
+        }
+      }
+      break;
+    case Datatype::Node::Kind::resized:
+      flatten_node(*n.child, offset, out);
+      break;
+  }
+}
+
+/// Computes derived metadata (size/lb/extent assumed filled) and the
+/// contiguity flag by flattening a single element.
+void finalize(Datatype::Node& n) {
+  std::vector<Block> one;
+  flatten_node(n, 0, one);
+  std::size_t payload = 0;
+  for (const auto& b : one) payload += b.len;
+  FOMPI_REQUIRE(payload == n.size, ErrClass::internal,
+                "datatype size bookkeeping mismatch");
+  n.contig = one.size() == 1 && !one.empty() && one[0].offset == 0 &&
+             one[0].len == n.size && n.extent == n.size && n.lb == 0;
+  if (n.size == 0) n.contig = n.extent == 0 && n.lb == 0;
+}
+
+}  // namespace
+
+Datatype Datatype::basic(std::size_t bytes, std::string name) {
+  FOMPI_REQUIRE(bytes > 0, ErrClass::type, "basic datatype must be nonempty");
+  auto n = std::make_shared<Datatype::Node>();
+  n->kind = Node::Kind::basic;
+  n->name = std::move(name);
+  n->size = bytes;
+  n->lb = 0;
+  n->extent = bytes;
+  finalize(*n);
+  return Datatype(std::move(n));
+}
+
+Datatype Datatype::contiguous(int count, const Datatype& element) {
+  return hvector(1, count, 0, element);
+}
+
+Datatype Datatype::vector(int count, int blocklen, int stride,
+                          const Datatype& element) {
+  return hvector(count, blocklen,
+                 static_cast<std::ptrdiff_t>(element.extent()) * stride,
+                 element);
+}
+
+Datatype Datatype::hvector(int count, int blocklen,
+                           std::ptrdiff_t stride_bytes,
+                           const Datatype& element) {
+  FOMPI_REQUIRE(count >= 0 && blocklen >= 0, ErrClass::type,
+                "vector counts must be nonnegative");
+  const auto& child = element.node();
+  auto n = std::make_shared<Datatype::Node>();
+  n->kind = Node::Kind::hvector;
+  n->name = "hvector";
+  n->count = count;
+  n->blocklen = blocklen;
+  n->stride = stride_bytes;
+  n->child = element.node_;
+  n->size = static_cast<std::size_t>(count) *
+            static_cast<std::size_t>(blocklen) * child.size;
+  if (count == 0 || blocklen == 0) {
+    n->lb = 0;
+    n->extent = 0;
+    n->size = 0;
+  } else {
+    std::ptrdiff_t lo = 0, hi = 0;
+    bool first = true;
+    for (int i = 0; i < count; ++i) {
+      const std::ptrdiff_t base = i * stride_bytes + child.lb;
+      const std::ptrdiff_t lo_i = base;
+      const std::ptrdiff_t hi_i =
+          base + static_cast<std::ptrdiff_t>(blocklen) *
+                     static_cast<std::ptrdiff_t>(child.extent);
+      if (first || lo_i < lo) lo = lo_i;
+      if (first || hi_i > hi) hi = hi_i;
+      first = false;
+    }
+    n->lb = lo;
+    n->extent = static_cast<std::size_t>(hi - lo);
+  }
+  finalize(*n);
+  return Datatype(std::move(n));
+}
+
+Datatype Datatype::indexed(const std::vector<int>& blocklens,
+                           const std::vector<int>& displs,
+                           const Datatype& element) {
+  FOMPI_REQUIRE(blocklens.size() == displs.size(), ErrClass::type,
+                "indexed: blocklens/displs size mismatch");
+  std::vector<std::ptrdiff_t> byte_displs(displs.size());
+  const auto ext = static_cast<std::ptrdiff_t>(element.extent());
+  for (std::size_t i = 0; i < displs.size(); ++i) {
+    byte_displs[i] = displs[i] * ext;
+  }
+  return hindexed(blocklens, byte_displs, element);
+}
+
+Datatype Datatype::hindexed(const std::vector<int>& blocklens,
+                            const std::vector<std::ptrdiff_t>& displs_bytes,
+                            const Datatype& element) {
+  FOMPI_REQUIRE(blocklens.size() == displs_bytes.size(), ErrClass::type,
+                "hindexed: blocklens/displs size mismatch");
+  std::vector<Datatype> types(blocklens.size(), element);
+  return struct_type(blocklens, displs_bytes, types);
+}
+
+Datatype Datatype::struct_type(const std::vector<int>& blocklens,
+                               const std::vector<std::ptrdiff_t>& displs_bytes,
+                               const std::vector<Datatype>& types) {
+  FOMPI_REQUIRE(
+      blocklens.size() == displs_bytes.size() && types.size() == blocklens.size(),
+      ErrClass::type, "struct: argument array size mismatch");
+  auto n = std::make_shared<Datatype::Node>();
+  n->kind = Node::Kind::pieces;
+  n->name = "struct";
+  std::ptrdiff_t lo = 0, hi = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < blocklens.size(); ++i) {
+    FOMPI_REQUIRE(blocklens[i] >= 0, ErrClass::type,
+                  "struct: negative blocklen");
+    const auto& t = types[i].node();
+    n->pieces.push_back(
+        Datatype::Node::Piece{displs_bytes[i], blocklens[i], types[i].node_});
+    n->size += static_cast<std::size_t>(blocklens[i]) * t.size;
+    if (blocklens[i] == 0) continue;
+    const std::ptrdiff_t lo_i = displs_bytes[i] + t.lb;
+    const std::ptrdiff_t hi_i =
+        displs_bytes[i] + t.lb +
+        static_cast<std::ptrdiff_t>(blocklens[i]) *
+            static_cast<std::ptrdiff_t>(t.extent);
+    if (first || lo_i < lo) lo = lo_i;
+    if (first || hi_i > hi) hi = hi_i;
+    first = false;
+  }
+  n->lb = first ? 0 : lo;
+  n->extent = first ? 0 : static_cast<std::size_t>(hi - lo);
+  finalize(*n);
+  return Datatype(std::move(n));
+}
+
+Datatype Datatype::resized(const Datatype& base, std::ptrdiff_t lb,
+                           std::size_t extent) {
+  const auto& child = base.node();
+  auto n = std::make_shared<Datatype::Node>();
+  n->kind = Node::Kind::resized;
+  n->name = "resized(" + child.name + ")";
+  n->child = base.node_;
+  n->size = child.size;
+  n->lb = lb;
+  n->extent = extent;
+  finalize(*n);
+  return Datatype(std::move(n));
+}
+
+Datatype Datatype::subarray(const std::vector<int>& sizes,
+                            const std::vector<int>& subsizes,
+                            const std::vector<int>& starts,
+                            const Datatype& element) {
+  const std::size_t ndims = sizes.size();
+  FOMPI_REQUIRE(ndims >= 1 && subsizes.size() == ndims &&
+                    starts.size() == ndims,
+                ErrClass::type, "subarray: dimension mismatch");
+  for (std::size_t d = 0; d < ndims; ++d) {
+    FOMPI_REQUIRE(sizes[d] >= 1 && subsizes[d] >= 1 &&
+                      subsizes[d] <= sizes[d] && starts[d] >= 0 &&
+                      starts[d] + subsizes[d] <= sizes[d],
+                  ErrClass::type, "subarray: block out of bounds");
+  }
+  const auto ext = static_cast<std::ptrdiff_t>(element.extent());
+  // Row-major strides: elements of dimension d are prod(sizes[d+1..]) apart.
+  std::vector<std::ptrdiff_t> stride(ndims);
+  stride[ndims - 1] = ext;
+  for (std::size_t d = ndims - 1; d > 0; --d) {
+    stride[d - 1] = stride[d] * sizes[d];
+  }
+  // Innermost dimension is a contiguous run; outer dimensions wrap it with
+  // strided vectors.
+  Datatype t = contiguous(subsizes[ndims - 1], element);
+  for (std::size_t d = ndims - 1; d > 0; --d) {
+    t = hvector(subsizes[d - 1], 1, stride[d - 1], t);
+  }
+  std::ptrdiff_t displ = 0;
+  for (std::size_t d = 0; d < ndims; ++d) displ += starts[d] * stride[d];
+  t = hindexed({1}, {displ}, t);
+  // Extent covers the full array so count > 1 walks consecutive arrays.
+  return resized(t, 0, static_cast<std::size_t>(stride[0] * sizes[0]));
+}
+
+std::size_t Datatype::size() const { return node().size; }
+std::size_t Datatype::extent() const { return node().extent; }
+std::ptrdiff_t Datatype::lb() const { return node().lb; }
+bool Datatype::is_contiguous() const { return node().contig; }
+
+std::string Datatype::describe() const {
+  const auto& n = node();
+  return n.name + "{size=" + std::to_string(n.size) +
+         ",extent=" + std::to_string(n.extent) + "}";
+}
+
+void Datatype::flatten(std::size_t base, int count,
+                       std::vector<Block>& out) const {
+  const auto& n = node();
+  FOMPI_REQUIRE(count >= 0, ErrClass::type, "flatten: negative count");
+  if (n.contig) {
+    emit_block(out, static_cast<std::ptrdiff_t>(base),
+               static_cast<std::size_t>(count) * n.size);
+    return;
+  }
+  for (int e = 0; e < count; ++e) {
+    flatten_node(n,
+                 static_cast<std::ptrdiff_t>(base) +
+                     e * static_cast<std::ptrdiff_t>(n.extent),
+                 out);
+  }
+}
+
+std::size_t Datatype::pack(const void* src, int count, void* dst) const {
+  std::vector<Block> blocks;
+  flatten(0, count, blocks);
+  auto* out = static_cast<std::byte*>(dst);
+  const auto* in = static_cast<const std::byte*>(src);
+  std::size_t pos = 0;
+  for (const auto& b : blocks) {
+    std::memcpy(out + pos, in + b.offset, b.len);
+    pos += b.len;
+  }
+  return pos;
+}
+
+std::size_t Datatype::unpack(const void* src, int count, void* dst) const {
+  std::vector<Block> blocks;
+  flatten(0, count, blocks);
+  const auto* in = static_cast<const std::byte*>(src);
+  auto* out = static_cast<std::byte*>(dst);
+  std::size_t pos = 0;
+  for (const auto& b : blocks) {
+    std::memcpy(out + b.offset, in + pos, b.len);
+    pos += b.len;
+  }
+  return pos;
+}
+
+void pair_blocks(const std::vector<Block>& origin,
+                 const std::vector<Block>& target,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)>& fn) {
+  std::size_t oi = 0, ti = 0;   // block indices
+  std::size_t opos = 0, tpos = 0;  // consumed bytes within current block
+  while (oi < origin.size() && ti < target.size()) {
+    const std::size_t orem = origin[oi].len - opos;
+    const std::size_t trem = target[ti].len - tpos;
+    const std::size_t frag = std::min(orem, trem);
+    fn(origin[oi].offset + opos, target[ti].offset + tpos, frag);
+    opos += frag;
+    tpos += frag;
+    if (opos == origin[oi].len) {
+      ++oi;
+      opos = 0;
+    }
+    if (tpos == target[ti].len) {
+      ++ti;
+      tpos = 0;
+    }
+  }
+  FOMPI_REQUIRE(oi == origin.size() && ti == target.size(), ErrClass::type,
+                "origin and target datatypes carry different payload sizes");
+}
+
+}  // namespace fompi::dt

@@ -1,0 +1,109 @@
+#include "fabric/collectives.hpp"
+
+#include <atomic>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace fompi::fabric {
+
+namespace {
+constexpr std::size_t kFlagBytes = 8;
+}
+
+Collectives::Collectives(rdma::Domain& domain,
+                         std::function<void()> yield_check)
+    : domain_(domain),
+      yield_check_(std::move(yield_check)),
+      state_(static_cast<std::size_t>(domain.nranks())),
+      published_(static_cast<std::size_t>(domain.nranks())) {
+  const int p = domain_.nranks();
+  log2p_ = std::bit_width(static_cast<unsigned>(p - 1));  // ceil(log2 p)
+  FOMPI_REQUIRE(log2p_ <= kMaxRounds, ErrClass::arg, "too many ranks");
+  flag_mem_.reserve(static_cast<std::size_t>(p));
+  flag_desc_.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    flag_mem_.emplace_back(2 * kMaxRounds * kFlagBytes);
+    flag_desc_.push_back(domain_.registry().register_region(
+        r, flag_mem_.back().data(), flag_mem_.back().size()));
+  }
+}
+
+int Collectives::rounds_() const noexcept { return log2p_; }
+
+std::uint64_t Collectives::load_flag(int rank, bool ib, int round) const {
+  const std::size_t off =
+      (static_cast<std::size_t>(ib ? kMaxRounds : 0) +
+       static_cast<std::size_t>(round)) *
+      kFlagBytes;
+  const auto* word = reinterpret_cast<const std::uint64_t*>(
+      flag_mem_[static_cast<std::size_t>(rank)].data() + off);
+  return std::atomic_ref<const std::uint64_t>(*word).load(
+      std::memory_order_acquire);
+}
+
+void Collectives::barrier(int rank) {
+  const int p = nranks();
+  if (p == 1) return;
+  RankState& st = state_[static_cast<std::size_t>(rank)];
+  const std::uint64_t gen = ++st.barrier_gen;
+  rdma::Nic& nic = domain_.nic(rank);
+  for (int r = 0; r < rounds_(); ++r) {
+    const int partner = static_cast<int>(
+        (static_cast<std::uint64_t>(rank) + (1ull << r)) %
+        static_cast<std::uint64_t>(p));
+    const std::size_t off = static_cast<std::size_t>(r) * kFlagBytes;
+    nic.put(partner, flag_desc_[static_cast<std::size_t>(partner)], off, &gen,
+            kFlagBytes);
+    while (load_flag(rank, /*ib=*/false, r) < gen) yield_check_();
+  }
+}
+
+void Collectives::ibarrier_begin(int rank) {
+  RankState& st = state_[static_cast<std::size_t>(rank)];
+  FOMPI_REQUIRE(!st.ib_active, ErrClass::rma_sync,
+                "only one ibarrier may be in flight per rank");
+  st.ib_active = true;
+  ++st.ib_gen;
+  st.ib_round = 0;
+  st.ib_notified = false;
+}
+
+bool Collectives::ibarrier_test(int rank) {
+  const int p = nranks();
+  RankState& st = state_[static_cast<std::size_t>(rank)];
+  FOMPI_REQUIRE(st.ib_active, ErrClass::rma_sync,
+                "ibarrier_test without ibarrier_begin");
+  rdma::Nic& nic = domain_.nic(rank);
+  while (st.ib_round < rounds_() && p > 1) {
+    const int r = st.ib_round;
+    if (!st.ib_notified) {
+      const int partner = static_cast<int>(
+          (static_cast<std::uint64_t>(rank) + (1ull << r)) %
+          static_cast<std::uint64_t>(p));
+      const std::size_t off =
+          (static_cast<std::size_t>(kMaxRounds) + static_cast<std::size_t>(r)) *
+          kFlagBytes;
+      nic.put(partner, flag_desc_[static_cast<std::size_t>(partner)], off,
+              &st.ib_gen, kFlagBytes);
+      st.ib_notified = true;
+    }
+    if (load_flag(rank, /*ib=*/true, r) < st.ib_gen) return false;
+    ++st.ib_round;
+    st.ib_notified = false;
+  }
+  st.ib_active = false;
+  return true;
+}
+
+void Collectives::publish(int rank, const void* p) {
+  published_[static_cast<std::size_t>(rank)].store(p,
+                                                   std::memory_order_release);
+}
+
+const void* Collectives::peer_ptr(int r) const {
+  return published_[static_cast<std::size_t>(r)].load(
+      std::memory_order_acquire);
+}
+
+}  // namespace fompi::fabric

@@ -1,0 +1,76 @@
+#include "fabric/fabric.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fompi::fabric {
+
+Fabric::Fabric(FabricOptions opts) : opts_(opts), domain_(opts.domain) {
+  coll_ = std::make_unique<Collectives>(domain_, [this] { yield_check(); });
+  p2p_ = std::make_unique<P2P>(domain_, [this] { yield_check(); },
+                               opts_.eager_threshold);
+}
+
+std::exception_ptr Fabric::first_error() const {
+  std::scoped_lock lock(abort_mu_);
+  return first_error_;
+}
+
+std::shared_ptr<void> Fabric::ext_get(const std::string& key) const {
+  std::scoped_lock lock(ext_mu_);
+  const auto it = ext_.find(key);
+  return it == ext_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<void> Fabric::ext_put_once(const std::string& key,
+                                           std::shared_ptr<void> value) {
+  std::scoped_lock lock(ext_mu_);
+  auto [it, inserted] = ext_.try_emplace(key, std::move(value));
+  return it->second;
+}
+
+void Fabric::abort(std::exception_ptr e) noexcept {
+  {
+    std::scoped_lock lock(abort_mu_);
+    if (first_error_ == nullptr) first_error_ = e;
+  }
+  aborted_.store(true, std::memory_order_release);
+}
+
+void Fabric::check_abort() const {
+  if (aborted_.load(std::memory_order_acquire)) {
+    raise(ErrClass::internal, "aborted: a peer rank failed");
+  }
+}
+
+void Fabric::yield_check() const {
+  std::this_thread::yield();
+  check_abort();
+}
+
+void run_ranks(int nranks, const std::function<void(RankCtx&)>& body,
+               FabricOptions opts) {
+  FOMPI_REQUIRE(nranks >= 1, ErrClass::arg, "run_ranks needs >= 1 rank");
+  opts.domain.nranks = nranks;
+  Fabric fabric(opts);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&fabric, &body, r] {
+      RankCtx ctx(fabric, r);
+      try {
+        body(ctx);
+      } catch (...) {
+        fabric.abort(std::current_exception());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (std::exception_ptr e = fabric.first_error()) std::rethrow_exception(e);
+}
+
+}  // namespace fompi::fabric

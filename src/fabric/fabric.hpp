@@ -1,0 +1,121 @@
+// The thread-per-rank runtime.
+//
+// A Fabric plays the role of the machine: it owns the RDMA domain (NICs +
+// registration), the collectives context and the two-sided messaging state.
+// run_ranks() spawns one OS thread per simulated MPI process and hands each
+// a RankCtx. If any rank throws, the fabric aborts: every spinning peer
+// notices and unwinds, the first exception is rethrown to the caller —
+// so a failing test reports an error instead of deadlocking the suite.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "fabric/collectives.hpp"
+#include "fabric/p2p.hpp"
+#include "rdma/nic.hpp"
+
+namespace fompi::fabric {
+
+struct FabricOptions {
+  rdma::DomainConfig domain{};
+  std::size_t eager_threshold = 8192;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(FabricOptions opts);
+
+  int nranks() const noexcept { return domain_.nranks(); }
+  rdma::Domain& domain() noexcept { return domain_; }
+  Collectives& coll() noexcept { return *coll_; }
+  P2P& p2p() noexcept { return *p2p_; }
+  const FabricOptions& options() const noexcept { return opts_; }
+
+  /// Records the first failure and wakes all spinners.
+  void abort(std::exception_ptr e) noexcept;
+  /// Throws if a peer rank has failed.
+  void check_abort() const;
+  /// One spin iteration: yield, then propagate peer failure if any.
+  void yield_check() const;
+  /// The first recorded failure (null if none). Safe to call after all
+  /// rank threads joined.
+  std::exception_ptr first_error() const;
+
+  /// Named extension slot with fabric lifetime (e.g. the symmetric heap of
+  /// the RMA layer). Returns a reference guarded by an internal mutex; use
+  /// ext_get/ext_put for thread-safe access.
+  std::shared_ptr<void> ext_get(const std::string& key) const;
+  /// Stores `value` under `key` unless the key is already set; returns the
+  /// value now stored (first writer wins).
+  std::shared_ptr<void> ext_put_once(const std::string& key,
+                                     std::shared_ptr<void> value);
+
+ private:
+  FabricOptions opts_;
+  rdma::Domain domain_;
+  std::unique_ptr<Collectives> coll_;
+  std::unique_ptr<P2P> p2p_;
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abort_mu_;
+  std::exception_ptr first_error_;
+  mutable std::mutex ext_mu_;
+  std::unordered_map<std::string, std::shared_ptr<void>> ext_;
+};
+
+/// Per-rank execution context handed to the rank body. Thin convenience
+/// facade over the fabric's services.
+class RankCtx {
+ public:
+  RankCtx(Fabric& fabric, int rank)
+      : fabric_(fabric), rank_(rank), nic_(fabric.domain().nic(rank)) {}
+
+  int rank() const noexcept { return rank_; }
+  int nranks() const noexcept { return fabric_.nranks(); }
+  Fabric& fabric() noexcept { return fabric_; }
+  rdma::Nic& nic() noexcept { return nic_; }
+
+  // Collectives.
+  void barrier() { fabric_.coll().barrier(rank_); }
+  template <class T>
+  void bcast(int root, T* data, std::size_t n) {
+    fabric_.coll().bcast(rank_, root, data, n);
+  }
+  template <class T>
+  void allgather(const T* src, std::size_t n, T* dst) {
+    fabric_.coll().allgather(rank_, src, n, dst);
+  }
+  template <class T, class BinOp>
+  void allreduce(const T* src, T* dst, std::size_t n, BinOp op) {
+    fabric_.coll().allreduce(rank_, src, dst, n, op);
+  }
+
+  // Two-sided messaging.
+  void send(int dst, int tag, const void* buf, std::size_t len) {
+    fabric_.p2p().send(rank_, dst, tag, buf, len);
+  }
+  void recv(int src, int tag, void* buf, std::size_t cap,
+            Status* st = nullptr) {
+    fabric_.p2p().recv(rank_, src, tag, buf, cap, st);
+  }
+
+  /// One polite spin iteration (yields; throws on peer failure).
+  void yield_check() const { fabric_.yield_check(); }
+
+ private:
+  Fabric& fabric_;
+  int rank_;
+  rdma::Nic& nic_;
+};
+
+/// Runs `body` on `nranks` concurrent rank threads over a fresh fabric.
+/// Rethrows the first rank failure after all threads joined.
+void run_ranks(int nranks, const std::function<void(RankCtx&)>& body,
+               FabricOptions opts = {});
+
+}  // namespace fompi::fabric

@@ -1,0 +1,53 @@
+// Process groups: ordered sets of world ranks, used by the general active
+// target synchronization (PSCW) calls and by communicator-like contexts.
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fompi::fabric {
+
+class Group {
+ public:
+  Group() = default;
+  Group(std::initializer_list<int> ranks) : ranks_(ranks) { validate(); }
+  explicit Group(std::vector<int> ranks) : ranks_(std::move(ranks)) {
+    validate();
+  }
+
+  /// Group {0, 1, ..., n-1}.
+  static Group world(int n) {
+    std::vector<int> r(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) r[static_cast<std::size_t>(i)] = i;
+    return Group(std::move(r));
+  }
+
+  int size() const noexcept { return static_cast<int>(ranks_.size()); }
+  int at(int i) const { return ranks_.at(static_cast<std::size_t>(i)); }
+  bool contains(int rank) const noexcept {
+    return std::find(ranks_.begin(), ranks_.end(), rank) != ranks_.end();
+  }
+  const std::vector<int>& ranks() const noexcept { return ranks_; }
+
+  auto begin() const noexcept { return ranks_.begin(); }
+  auto end() const noexcept { return ranks_.end(); }
+
+ private:
+  void validate() const {
+    for (int r : ranks_) {
+      FOMPI_REQUIRE(r >= 0, ErrClass::rank, "group rank must be nonnegative");
+    }
+    auto sorted = ranks_;
+    std::sort(sorted.begin(), sorted.end());
+    FOMPI_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                      sorted.end(),
+                  ErrClass::arg, "group contains a duplicate rank");
+  }
+
+  std::vector<int> ranks_;
+};
+
+}  // namespace fompi::fabric

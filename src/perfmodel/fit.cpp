@@ -1,0 +1,57 @@
+#include "perfmodel/fit.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fompi::perf {
+
+namespace {
+
+FitResult ols(const std::vector<Sample>& s) {
+  FOMPI_REQUIRE(s.size() >= 2, ErrClass::arg, "fit needs >= 2 samples");
+  const double n = static_cast<double>(s.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& p : s) {
+    sx += p.x;
+    sy += p.y;
+    sxx += p.x * p.x;
+    sxy += p.x * p.y;
+  }
+  const double denom = n * sxx - sx * sx;
+  FitResult r;
+  if (std::abs(denom) < 1e-12) {
+    r.intercept_us = sy / n;
+    r.slope_us_per_x = 0;
+  } else {
+    r.slope_us_per_x = (n * sxy - sx * sy) / denom;
+    r.intercept_us = (sy - r.slope_us_per_x * sx) / n;
+  }
+  double ss_res = 0, ss_tot = 0;
+  const double mean_y = sy / n;
+  for (const auto& p : s) {
+    const double pred = r.intercept_us + r.slope_us_per_x * p.x;
+    ss_res += (p.y - pred) * (p.y - pred);
+    ss_tot += (p.y - mean_y) * (p.y - mean_y);
+  }
+  r.r2 = ss_tot < 1e-12 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return r;
+}
+
+}  // namespace
+
+FitResult fit_affine(const std::vector<Sample>& samples) {
+  return ols(samples);
+}
+
+FitResult fit_logarithmic(const std::vector<Sample>& samples) {
+  std::vector<Sample> logged;
+  logged.reserve(samples.size());
+  for (const auto& s : samples) {
+    FOMPI_REQUIRE(s.x > 0, ErrClass::arg, "log fit needs positive x");
+    logged.push_back(Sample{std::log2(s.x), s.y});
+  }
+  return ols(logged);
+}
+
+}  // namespace fompi::perf

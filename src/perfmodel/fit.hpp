@@ -1,0 +1,30 @@
+// Least-squares fitting of the affine cost models from measured sweeps.
+// bench_models uses this to print the Sec 3 coefficient table for this
+// implementation next to the paper's values.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "perfmodel/cost_functions.hpp"
+
+namespace fompi::perf {
+
+struct Sample {
+  double x;  ///< size in bytes (or process count, ...)
+  double y;  ///< measured time in microseconds
+};
+
+struct FitResult {
+  double intercept_us = 0;
+  double slope_us_per_x = 0;
+  double r2 = 0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares y = a + b x.
+FitResult fit_affine(const std::vector<Sample>& samples);
+
+/// Fit y = a + b log2(x); returns slope in us per doubling.
+FitResult fit_logarithmic(const std::vector<Sample>& samples);
+
+}  // namespace fompi::perf

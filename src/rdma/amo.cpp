@@ -1,0 +1,18 @@
+#include "rdma/amo.hpp"
+
+namespace fompi::rdma {
+
+const char* to_string(AmoOp op) noexcept {
+  switch (op) {
+    case AmoOp::fetch_add: return "fetch_add";
+    case AmoOp::fetch_and: return "fetch_and";
+    case AmoOp::fetch_or:  return "fetch_or";
+    case AmoOp::fetch_xor: return "fetch_xor";
+    case AmoOp::swap:      return "swap";
+    case AmoOp::cas:       return "cas";
+    case AmoOp::read:      return "read";
+  }
+  return "unknown";
+}
+
+}  // namespace fompi::rdma

@@ -1,0 +1,55 @@
+// Atomic memory operations on 8-byte words.
+//
+// Mirrors the DMAPP AMO set: hardware-accelerated ops are ADD, AND, OR,
+// XOR, SWAP and CAS on 8-byte naturally-aligned words. Anything else (MIN,
+// MAX, PROD, ...) is *not* accelerated and must go through the library's
+// lock-get-modify-put fallback protocol, exactly as in the paper (Fig 6a).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace fompi::rdma {
+
+/// Hardware-accelerated AMO opcodes (operate on one 64-bit word).
+enum class AmoOp : std::uint8_t {
+  fetch_add,  ///< *addr += operand, returns old value
+  fetch_and,  ///< *addr &= operand, returns old value
+  fetch_or,   ///< *addr |= operand, returns old value
+  fetch_xor,  ///< *addr ^= operand, returns old value
+  swap,       ///< *addr = operand, returns old value
+  cas,        ///< if (*addr == compare) *addr = operand; returns old value
+  read,       ///< atomic read (fetch with no-op)
+};
+
+const char* to_string(AmoOp op) noexcept;
+
+/// Applies `op` atomically to the 8-byte word at `addr` (must be 8-byte
+/// aligned) and returns the previous value. This is the "NIC-side" ALU; the
+/// same CPU atomics implement the XPMEM intra-node path, which is what makes
+/// intra- and inter-node AMOs interoperable (a property DMAPP+XPMEM on Cray
+/// systems also provides for the ops foMPI uses).
+inline std::uint64_t apply_amo(void* addr, AmoOp op, std::uint64_t operand,
+                               std::uint64_t compare) {
+  FOMPI_REQUIRE((reinterpret_cast<std::uintptr_t>(addr) & 7u) == 0,
+                ErrClass::arg, "AMO target must be 8-byte aligned");
+  std::atomic_ref<std::uint64_t> word(*static_cast<std::uint64_t*>(addr));
+  switch (op) {
+    case AmoOp::fetch_add: return word.fetch_add(operand);
+    case AmoOp::fetch_and: return word.fetch_and(operand);
+    case AmoOp::fetch_or:  return word.fetch_or(operand);
+    case AmoOp::fetch_xor: return word.fetch_xor(operand);
+    case AmoOp::swap:      return word.exchange(operand);
+    case AmoOp::cas: {
+      std::uint64_t expected = compare;
+      word.compare_exchange_strong(expected, operand);
+      return expected;  // old value whether or not the swap happened
+    }
+    case AmoOp::read: return word.load();
+  }
+  raise(ErrClass::internal, "bad AmoOp");
+}
+
+}  // namespace fompi::rdma

@@ -1,0 +1,83 @@
+// Gemini-like network cost model.
+//
+// Parameter values are taken from the paper's measured performance
+// functions on Blue Waters (Cray XE6, Gemini 3D torus):
+//   P_put = 0.16 ns/B * s + 1.0 us          (Sec 3.1)
+//   P_get = 0.17 ns/B * s + 1.9 us
+//   injection overhead: 416 ns inter-node, 80 ns intra-node (Sec 3.1.2)
+//   P_acc,sum = 28 ns/B * s + 2.4 us, P_CAS = 2.4 us (Sec 3.1.3)
+// plus the DMAPP protocol change visible in Fig 4a/5b: small transfers go
+// through FMA (low latency); transfers above a threshold switch to the BTE
+// bulk engine (extra setup, better asymptotic bandwidth).
+//
+// This model drives (a) the latency injector of the simulated NIC, so that
+// real-time benchmarks of the real code path reproduce the paper's curve
+// shapes, and (b) the discrete-event simulator for scaling experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fompi::rdma {
+
+struct NetworkModel {
+  // --- inter-node ("DMAPP") parameters -----------------------------------
+  double inter_overhead_ns = 416.0;   ///< origin injection overhead per op
+  double put_base_ns = 1000.0;        ///< small-put end-to-end latency
+  double put_byte_ns = 0.16;          ///< put serialization per byte
+  double get_base_ns = 1900.0;        ///< small-get end-to-end latency
+  double get_byte_ns = 0.17;          ///< get serialization per byte
+  double amo_base_ns = 2400.0;        ///< network round trip for one AMO
+  double fma_chunk_bytes = 64.0;      ///< FMA immediate chunk size
+  double fma_chunk_ns = 10.0;         ///< extra per-chunk cost within FMA
+  std::size_t bte_threshold = 4096;   ///< FMA -> BTE protocol switch
+  double bte_setup_ns = 1100.0;       ///< BTE descriptor setup cost
+  double bte_byte_ns = 0.145;         ///< BTE per-byte cost (higher BW)
+
+  // --- intra-node ("XPMEM") parameters ------------------------------------
+  double intra_overhead_ns = 80.0;    ///< per-op software overhead
+  double intra_base_ns = 350.0;       ///< small copy latency (load/store)
+  double intra_byte_ns = 0.08;        ///< memcpy per-byte cost
+  double intra_amo_ns = 120.0;        ///< CPU atomic on a shared line
+
+  /// Time from issue until a put of `bytes` is committed in remote memory.
+  double put_latency_ns(std::size_t bytes) const noexcept {
+    if (bytes >= bte_threshold)
+      return bte_setup_ns + bte_byte_ns * static_cast<double>(bytes);
+    const double chunks = static_cast<double>(bytes) / fma_chunk_bytes;
+    return put_base_ns + fma_chunk_ns * chunks +
+           put_byte_ns * static_cast<double>(bytes);
+  }
+
+  /// Time from issue until a get of `bytes` has landed in local memory.
+  double get_latency_ns(std::size_t bytes) const noexcept {
+    if (bytes >= bte_threshold)
+      return get_base_ns + bte_setup_ns - put_base_ns +
+             bte_byte_ns * static_cast<double>(bytes);
+    const double chunks = static_cast<double>(bytes) / fma_chunk_bytes;
+    return get_base_ns + fma_chunk_ns * chunks +
+           get_byte_ns * static_cast<double>(bytes);
+  }
+
+  /// Remote AMO completion latency (8-byte operand).
+  double amo_latency_ns() const noexcept { return amo_base_ns; }
+
+  double intra_latency_ns(std::size_t bytes) const noexcept {
+    return intra_base_ns + intra_byte_ns * static_cast<double>(bytes);
+  }
+};
+
+/// How the simulated NIC charges model time to the running code.
+enum class Injection : std::uint8_t {
+  none,   ///< no delays: functional testing mode, fastest
+  model,  ///< spin-wait the modeled times: benchmark mode
+};
+
+/// When remotely written data becomes visible at the target.
+enum class Delivery : std::uint8_t {
+  immediate,  ///< visible at issue (strongest; what XPMEM gives)
+  deferred,   ///< visible only once the origin completes the op
+              ///< (weakest legal RDMA behaviour; failure-injection mode)
+};
+
+}  // namespace fompi::rdma

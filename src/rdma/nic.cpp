@@ -1,0 +1,318 @@
+#include "rdma/nic.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "common/instr.hpp"
+#include "common/timing.hpp"
+
+namespace fompi::rdma {
+
+namespace {
+
+/// Moves `len` bytes; 8-byte aligned single words go through CPU atomics so
+/// that protocol flags written by puts can be polled concurrently without a
+/// data race (Gemini likewise commits aligned 8-byte puts atomically).
+void place_bytes(void* dst, const void* src, std::size_t len) {
+  if (len == 8 && (reinterpret_cast<std::uintptr_t>(dst) & 7u) == 0 &&
+      (reinterpret_cast<std::uintptr_t>(src) & 7u) == 0) {
+    std::uint64_t v;
+    std::memcpy(&v, src, 8);
+    std::atomic_ref<std::uint64_t>(*static_cast<std::uint64_t*>(dst))
+        .store(v, std::memory_order_release);
+    return;
+  }
+  std::memcpy(dst, src, len);
+}
+
+void fetch_bytes(void* dst, const void* src, std::size_t len) {
+  if (len == 8 && (reinterpret_cast<std::uintptr_t>(dst) & 7u) == 0 &&
+      (reinterpret_cast<std::uintptr_t>(src) & 7u) == 0) {
+    const std::uint64_t v =
+        std::atomic_ref<const std::uint64_t>(
+            *static_cast<const std::uint64_t*>(src))
+            .load(std::memory_order_acquire);
+    std::memcpy(dst, &v, 8);
+    return;
+  }
+  std::memcpy(dst, src, len);
+}
+
+}  // namespace
+
+Nic::Nic(Domain& domain, int rank)
+    : domain_(domain), rank_(rank), rng_(domain.config().seed + 0x9e37 * rank) {}
+
+bool Nic::inter_node(int target) const noexcept {
+  return !domain_.same_node(rank_, target);
+}
+
+void Nic::wait_model_time(std::uint64_t complete_at) {
+  if (domain_.config().inject == Injection::model) {
+    const std::uint64_t t = now_ns();
+    if (complete_at > t) spin_for_ns(complete_at - t);
+  }
+}
+
+void Nic::apply(PendingOp& op) {
+  if (op.applied) return;
+  op.applied = true;
+  switch (op.kind) {
+    case PendingOp::Kind::put:
+      if (!op.staged.empty()) {
+        place_bytes(op.remote, op.staged.data(), op.len);
+      }
+      break;
+    case PendingOp::Kind::get:
+      if (op.len != 0) fetch_bytes(op.local, op.remote, op.len);
+      break;
+    case PendingOp::Kind::amo: {
+      const std::uint64_t prev =
+          apply_amo(op.remote, op.aop, op.operand, op.compare);
+      if (op.fetch_out != nullptr) *op.fetch_out = prev;
+      break;
+    }
+  }
+  // Publish the effect: pairs with acquire loads in readers polling the
+  // target memory (protocol counters are read with atomics anyway; this
+  // fence covers plain payload reads after synchronization).
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
+                  PendingOp op, bool implicit) {
+  const DomainConfig& cfg = domain_.config();
+  const NetworkModel& m = cfg.model;
+  const bool inter = inter_node(target);
+  op.remote = domain_.registry().resolve(rd.rkey, target, offset, op.len);
+  op.implicit = implicit;
+
+  switch (op.kind) {
+    case PendingOp::Kind::put: count(Op::transport_put); break;
+    case PendingOp::Kind::get: count(Op::transport_get); break;
+    case PendingOp::Kind::amo:
+      count(inter ? Op::transport_amo : Op::local_atomic);
+      break;
+  }
+  if (op.len != 0) count(Op::bytes_copied, op.len);
+
+  // Model time accounting -------------------------------------------------
+  double overhead_ns = 0.0;
+  double latency_ns = 0.0;
+  if (inter) {
+    overhead_ns = m.inter_overhead_ns;
+    switch (op.kind) {
+      case PendingOp::Kind::put: latency_ns = m.put_latency_ns(op.len); break;
+      case PendingOp::Kind::get: latency_ns = m.get_latency_ns(op.len); break;
+      case PendingOp::Kind::amo: latency_ns = m.amo_latency_ns(); break;
+    }
+  } else {
+    overhead_ns = m.intra_overhead_ns;
+    latency_ns = op.kind == PendingOp::Kind::amo
+                     ? m.intra_amo_ns
+                     : m.intra_latency_ns(op.len);
+  }
+  const double scale = cfg.time_scale;
+  const std::uint64_t issue_start = now_ns();
+  if (cfg.inject == Injection::model) {
+    spin_for_ns(static_cast<std::uint64_t>(overhead_ns * scale));
+  }
+  op.complete_at =
+      issue_start + static_cast<std::uint64_t>(latency_ns * scale);
+  latest_complete_at_ = std::max(latest_complete_at_, op.complete_at);
+
+  // Data movement -----------------------------------------------------------
+  // Intra-node ("XPMEM") ops are CPU loads/stores: always applied at issue.
+  // Inter-node ops are applied at issue under immediate delivery, and
+  // postponed to completion under deferred delivery.
+  const bool defer = inter && cfg.delivery == Delivery::deferred;
+  if (defer) {
+    if (op.kind == PendingOp::Kind::put) {
+      // Real NICs read the source buffer asynchronously; staging the payload
+      // at issue models a NIC that has already DMA-read the source, keeping
+      // the (legal) late-visibility behaviour at the target only.
+      op.staged.assign(static_cast<const std::byte*>(op.local),
+                       static_cast<const std::byte*>(op.local) + op.len);
+      op.local = nullptr;
+    }
+    if (implicit) {
+      implicit_ops_.push_back(std::move(op));
+      ++implicit_live_;
+      return kDoneHandle;
+    }
+    const Handle h = next_handle_++;
+    pending_.emplace(h, std::move(op));
+    return h;
+  }
+
+  // Applied now. Puts source from op.local for the non-deferred path.
+  if (op.kind == PendingOp::Kind::put) {
+    place_bytes(op.remote, op.local, op.len);
+    std::atomic_thread_fence(std::memory_order_release);
+    op.applied = true;
+  } else {
+    apply(op);
+  }
+
+  if (implicit) {
+    ++implicit_live_;
+    return kDoneHandle;
+  }
+  if (cfg.inject == Injection::model) {
+    // Data already placed; the handle still completes at the modeled time.
+    PendingOp marker;
+    marker.kind = op.kind;
+    marker.len = 0;
+    marker.complete_at = op.complete_at;
+    marker.applied = true;
+    const Handle h = next_handle_++;
+    pending_.emplace(h, std::move(marker));
+    return h;
+  }
+  return kDoneHandle;
+}
+
+Handle Nic::put_nb(int target, const RegionDesc& rd, std::size_t offset,
+                   const void* src, std::size_t len) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::put;
+  op.local = const_cast<void*>(src);
+  op.len = len;
+  return issue(target, rd, offset, std::move(op), /*implicit=*/false);
+}
+
+Handle Nic::get_nb(int target, const RegionDesc& rd, std::size_t offset,
+                   void* dst, std::size_t len) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::get;
+  op.local = dst;
+  op.len = len;
+  return issue(target, rd, offset, std::move(op), /*implicit=*/false);
+}
+
+Handle Nic::amo_nb(int target, const RegionDesc& rd, std::size_t offset,
+                   AmoOp aop, std::uint64_t operand, std::uint64_t compare,
+                   std::uint64_t* fetch_out) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::amo;
+  op.len = 8;
+  op.aop = aop;
+  op.operand = operand;
+  op.compare = compare;
+  op.fetch_out = fetch_out;
+  return issue(target, rd, offset, std::move(op), /*implicit=*/false);
+}
+
+void Nic::put_nbi(int target, const RegionDesc& rd, std::size_t offset,
+                  const void* src, std::size_t len) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::put;
+  op.local = const_cast<void*>(src);
+  op.len = len;
+  issue(target, rd, offset, std::move(op), /*implicit=*/true);
+}
+
+void Nic::get_nbi(int target, const RegionDesc& rd, std::size_t offset,
+                  void* dst, std::size_t len) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::get;
+  op.local = dst;
+  op.len = len;
+  issue(target, rd, offset, std::move(op), /*implicit=*/true);
+}
+
+void Nic::amo_nbi(int target, const RegionDesc& rd, std::size_t offset,
+                  AmoOp aop, std::uint64_t operand, std::uint64_t compare) {
+  PendingOp op;
+  op.kind = PendingOp::Kind::amo;
+  op.len = 8;
+  op.aop = aop;
+  op.operand = operand;
+  op.compare = compare;
+  issue(target, rd, offset, std::move(op), /*implicit=*/true);
+}
+
+void Nic::put(int target, const RegionDesc& rd, std::size_t offset,
+              const void* src, std::size_t len) {
+  wait(put_nb(target, rd, offset, src, len));
+}
+
+void Nic::get(int target, const RegionDesc& rd, std::size_t offset, void* dst,
+              std::size_t len) {
+  wait(get_nb(target, rd, offset, dst, len));
+}
+
+std::uint64_t Nic::amo(int target, const RegionDesc& rd, std::size_t offset,
+                       AmoOp aop, std::uint64_t operand,
+                       std::uint64_t compare) {
+  std::uint64_t fetched = 0;
+  wait(amo_nb(target, rd, offset, aop, operand, compare, &fetched));
+  return fetched;
+}
+
+bool Nic::test(Handle h) {
+  if (h == kDoneHandle) return true;
+  const auto it = pending_.find(h);
+  FOMPI_REQUIRE(it != pending_.end(), ErrClass::arg, "test: unknown handle");
+  if (domain_.config().inject == Injection::model &&
+      now_ns() < it->second.complete_at) {
+    return false;
+  }
+  apply(it->second);
+  pending_.erase(it);
+  return true;
+}
+
+void Nic::wait(Handle h) {
+  if (h == kDoneHandle) return;
+  const auto it = pending_.find(h);
+  FOMPI_REQUIRE(it != pending_.end(), ErrClass::arg, "wait: unknown handle");
+  wait_model_time(it->second.complete_at);
+  apply(it->second);
+  pending_.erase(it);
+}
+
+void Nic::gsync() {
+  count(Op::bulk_sync);
+  // Drain deferred operations, optionally in shuffled order to model the
+  // absence of network ordering guarantees. Explicit handles stay valid for
+  // a later test/wait; their data movement happens here at the latest.
+  std::vector<PendingOp*> drained;
+  drained.reserve(implicit_ops_.size() + pending_.size());
+  for (auto& op : implicit_ops_) drained.push_back(&op);
+  for (auto& [h, op] : pending_) drained.push_back(&op);
+  if (domain_.config().shuffle_deferred && drained.size() > 1) {
+    for (std::size_t i = drained.size() - 1; i > 0; --i) {
+      std::swap(drained[i], drained[rng_.below(i + 1)]);
+    }
+  }
+  for (auto* op : drained) apply(*op);
+  implicit_ops_.clear();
+  wait_model_time(latest_complete_at_);
+  implicit_live_ = 0;
+  local_fence();
+}
+
+void Nic::local_fence() {
+  count(Op::memory_fence);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+Domain::Domain(DomainConfig cfg) : cfg_(cfg) {
+  FOMPI_REQUIRE(cfg_.nranks >= 1, ErrClass::arg, "Domain needs >= 1 rank");
+  FOMPI_REQUIRE(cfg_.ranks_per_node >= 0, ErrClass::arg,
+                "ranks_per_node must be >= 0");
+  nics_.reserve(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    nics_.push_back(std::make_unique<Nic>(*this, r));
+  }
+}
+
+Nic& Domain::nic(int rank) {
+  FOMPI_REQUIRE(rank >= 0 && rank < cfg_.nranks, ErrClass::rank,
+                "Domain::nic rank out of range");
+  return *nics_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace fompi::rdma

@@ -1,0 +1,167 @@
+// Simulated RDMA NIC ("DMAPP" stand-in) and intra-node direct access
+// ("XPMEM" stand-in).
+//
+// Operation taxonomy mirrors DMAPP exactly (Sec 2.1 of the paper):
+//   - blocking put/get/amo,
+//   - explicit nonblocking (returns a handle completed with test/wait),
+//   - implicit nonblocking (completed only by bulk completion, gsync()).
+// Puts and gets move arbitrary byte ranges; AMOs operate on 8-byte words.
+//
+// Two orthogonal simulation knobs (see network_model.hpp):
+//   Injection::model  — charge the Gemini cost model by busy-waiting, so
+//                       real-time benchmarks reproduce the paper's shapes;
+//   Delivery::deferred — inter-node data becomes visible only when the
+//                       origin completes the op (weakest legal RDMA
+//                       behaviour), optionally applied in shuffled order.
+//                       This is the failure-injection mode used by tests to
+//                       catch code that assumes eager remote visibility.
+//
+// A Nic is owned and driven by exactly one rank thread (not thread-safe);
+// the memory it targets is shared, with AMO words accessed via CPU atomics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rdma/amo.hpp"
+#include "rdma/network_model.hpp"
+#include "rdma/region.hpp"
+
+namespace fompi::rdma {
+
+class Domain;
+
+/// Completion handle for explicit nonblocking operations. Handle 0 denotes
+/// an operation that completed at issue (fast path).
+using Handle = std::uint64_t;
+inline constexpr Handle kDoneHandle = 0;
+
+class Nic {
+ public:
+  Nic(Domain& domain, int rank);
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  int rank() const noexcept { return rank_; }
+
+  // --- explicit nonblocking ------------------------------------------------
+  Handle put_nb(int target, const RegionDesc& rd, std::size_t offset,
+                const void* src, std::size_t len);
+  Handle get_nb(int target, const RegionDesc& rd, std::size_t offset,
+                void* dst, std::size_t len);
+  /// If `fetch_out` is nonnull it receives the previous value once the
+  /// operation completes.
+  Handle amo_nb(int target, const RegionDesc& rd, std::size_t offset,
+                AmoOp op, std::uint64_t operand, std::uint64_t compare,
+                std::uint64_t* fetch_out);
+
+  // --- implicit nonblocking (bulk-completed by gsync) ----------------------
+  void put_nbi(int target, const RegionDesc& rd, std::size_t offset,
+               const void* src, std::size_t len);
+  void get_nbi(int target, const RegionDesc& rd, std::size_t offset,
+               void* dst, std::size_t len);
+  void amo_nbi(int target, const RegionDesc& rd, std::size_t offset, AmoOp op,
+               std::uint64_t operand, std::uint64_t compare = 0);
+
+  // --- blocking ------------------------------------------------------------
+  void put(int target, const RegionDesc& rd, std::size_t offset,
+           const void* src, std::size_t len);
+  void get(int target, const RegionDesc& rd, std::size_t offset, void* dst,
+           std::size_t len);
+  std::uint64_t amo(int target, const RegionDesc& rd, std::size_t offset,
+                    AmoOp op, std::uint64_t operand,
+                    std::uint64_t compare = 0);
+
+  // --- completion ------------------------------------------------------------
+  /// True (and retires the handle) once the operation completed.
+  bool test(Handle h);
+  /// Blocks until the operation completed; retires the handle.
+  void wait(Handle h);
+  /// Bulk completion of ALL outstanding operations of this NIC (DMAPP
+  /// gsync). Guarantees remote visibility of every put/amo issued so far.
+  void gsync();
+  /// Local memory fence (x86 mfence equivalent); orders CPU stores for the
+  /// intra-node path.
+  void local_fence();
+
+  /// Outstanding (not yet completed) operation count.
+  std::size_t outstanding() const noexcept {
+    return pending_.size() + static_cast<std::size_t>(implicit_live_);
+  }
+
+ private:
+  struct PendingOp {
+    enum class Kind : std::uint8_t { put, get, amo } kind;
+    void* remote = nullptr;
+    void* local = nullptr;  // get destination
+    std::size_t len = 0;
+    std::vector<std::byte> staged;  // deferred put payload
+    AmoOp aop = AmoOp::read;
+    std::uint64_t operand = 0, compare = 0;
+    std::uint64_t* fetch_out = nullptr;
+    std::uint64_t complete_at = 0;  // ns timestamp when model says done
+    bool implicit = false;
+    bool applied = false;  // data movement already performed
+  };
+
+  bool inter_node(int target) const noexcept;
+  /// Issues one op; returns kDoneHandle when it completed at issue.
+  Handle issue(int target, const RegionDesc& rd, std::size_t offset,
+               PendingOp op, bool implicit);
+  void apply(PendingOp& op);
+  void wait_model_time(std::uint64_t complete_at);
+
+  Domain& domain_;
+  int rank_;
+  Rng rng_;
+  std::uint64_t next_handle_ = 1;
+  std::unordered_map<Handle, PendingOp> pending_;
+  /// Implicit inter-node ops kept for deferred application / completion time.
+  std::vector<PendingOp> implicit_ops_;
+  std::uint64_t implicit_live_ = 0;       // count incl. fast-path ops
+  std::uint64_t latest_complete_at_ = 0;  // max completion time seen
+};
+
+struct DomainConfig {
+  int nranks = 1;
+  /// Ranks per simulated node; 0 means all ranks share one node (pure
+  /// "XPMEM"), 1 means every rank is its own node (pure "DMAPP").
+  int ranks_per_node = 0;
+  Injection inject = Injection::none;
+  Delivery delivery = Delivery::immediate;
+  /// With deferred delivery, apply drained ops in shuffled order to model
+  /// the network's lack of ordering guarantees.
+  bool shuffle_deferred = false;
+  /// Multiplier on all injected model times (1.0 = realistic).
+  double time_scale = 1.0;
+  NetworkModel model{};
+  std::uint64_t seed = 42;
+};
+
+/// One RDMA domain: the registry plus one NIC per rank.
+class Domain {
+ public:
+  explicit Domain(DomainConfig cfg);
+
+  int nranks() const noexcept { return cfg_.nranks; }
+  int node_of(int rank) const noexcept {
+    return cfg_.ranks_per_node <= 0 ? 0 : rank / cfg_.ranks_per_node;
+  }
+  bool same_node(int a, int b) const noexcept {
+    return node_of(a) == node_of(b);
+  }
+
+  RegionRegistry& registry() noexcept { return registry_; }
+  const DomainConfig& config() const noexcept { return cfg_; }
+  Nic& nic(int rank);
+
+ private:
+  DomainConfig cfg_;
+  RegionRegistry registry_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace fompi::rdma

@@ -1,0 +1,46 @@
+#include "rdma/region.hpp"
+
+#include <mutex>
+
+namespace fompi::rdma {
+
+RegionDesc RegionRegistry::register_region(int owner, void* base,
+                                           std::size_t size) {
+  FOMPI_REQUIRE(base != nullptr || size == 0, ErrClass::arg,
+                "cannot register a null region of nonzero size");
+  FOMPI_REQUIRE(owner >= 0, ErrClass::rank, "owner rank must be nonnegative");
+  std::unique_lock lock(mu_);
+  const std::uint64_t key = next_key_++;
+  regions_.emplace(key, Entry{owner, static_cast<std::byte*>(base), size});
+  return RegionDesc{key, owner, size};
+}
+
+void RegionRegistry::deregister(std::uint64_t rkey) {
+  std::unique_lock lock(mu_);
+  const auto it = regions_.find(rkey);
+  FOMPI_REQUIRE(it != regions_.end(), ErrClass::arg,
+                "deregister: unknown rkey");
+  regions_.erase(it);
+}
+
+void* RegionRegistry::resolve(std::uint64_t rkey, int expected_owner,
+                              std::size_t offset, std::size_t len) const {
+  count(Op::validation_check);
+  std::shared_lock lock(mu_);
+  const auto it = regions_.find(rkey);
+  FOMPI_REQUIRE(it != regions_.end(), ErrClass::rma_range,
+                "access to unregistered region");
+  const Entry& e = it->second;
+  FOMPI_REQUIRE(e.owner == expected_owner, ErrClass::rma_range,
+                "rkey does not belong to the addressed rank");
+  FOMPI_REQUIRE(offset <= e.size && len <= e.size - offset,
+                ErrClass::rma_range, "RMA access outside registered region");
+  return e.base + offset;
+}
+
+std::size_t RegionRegistry::live_count() const {
+  std::shared_lock lock(mu_);
+  return regions_.size();
+}
+
+}  // namespace fompi::rdma

@@ -1,0 +1,57 @@
+// Memory registration.
+//
+// DMAPP and XPMEM both require a process to expose (register) a contiguous
+// region before remote peers may access it; registration returns a
+// descriptor ("rkey") that peers present with every access. The registry
+// validates every remote access against the registered bounds, which turns
+// wild RMA writes into FOMPI_ERR_RMA_RANGE instead of memory corruption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/instr.hpp"
+
+namespace fompi::rdma {
+
+/// Remote descriptor handed to peers; everything needed to address a region.
+struct RegionDesc {
+  std::uint64_t rkey = 0;  ///< registry handle, 0 is invalid
+  int owner = -1;          ///< rank that registered the region
+  std::size_t size = 0;    ///< length in bytes
+};
+
+/// Process-wide registration table shared by all simulated NICs.
+class RegionRegistry {
+ public:
+  /// Registers [base, base+size) owned by `owner`; returns the descriptor.
+  RegionDesc register_region(int owner, void* base, std::size_t size);
+
+  /// Removes a registration. Raises if the rkey is unknown.
+  void deregister(std::uint64_t rkey);
+
+  /// Resolves an access of `len` bytes at `offset` within region `rkey`
+  /// owned by `expected_owner`; returns the target address. Raises on any
+  /// violation (unknown key, wrong owner, out-of-range access).
+  void* resolve(std::uint64_t rkey, int expected_owner, std::size_t offset,
+                std::size_t len) const;
+
+  /// Number of live registrations (used by leak tests).
+  std::size_t live_count() const;
+
+ private:
+  struct Entry {
+    int owner;
+    std::byte* base;
+    std::size_t size;
+  };
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> regions_;
+  std::uint64_t next_key_ = 1;
+};
+
+}  // namespace fompi::rdma

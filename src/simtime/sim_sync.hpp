@@ -1,0 +1,54 @@
+// Event-driven simulations of the synchronization protocols at scale:
+// the dissemination barrier / fence (Fig 6b) and the PSCW ring (Fig 6c).
+#pragma once
+
+#include "perfmodel/cost_functions.hpp"
+#include "simtime/des.hpp"
+
+namespace fompi::sim {
+
+struct SyncParams {
+  /// One-way latency of an 8-byte notification message.
+  double msg_latency_us = 1.0;
+  /// Software cost at the origin per issued notification.
+  double per_msg_overhead_us = 0.416;
+  Noise noise{};
+  std::uint64_t seed = 42;
+};
+
+/// Runs a dissemination barrier over p simulated processes; returns the
+/// time until the last process exits. This is the foMPI fence body
+/// (gsync is free with no outstanding operations).
+double simulate_dissemination_barrier(int p, const SyncParams& params);
+
+/// Runs one PSCW epoch on a ring (k = 2 neighbors, the Fig 6c benchmark):
+/// every process posts to its neighbors, starts, completes, waits. Returns
+/// the time until the last process finished wait().
+struct PscwCosts {
+  double post_per_neighbor_us = 0.35;
+  double complete_per_neighbor_us = 0.35;
+  double start_us = 0.7;
+  double wait_us = 1.8;
+};
+double simulate_pscw_ring(int p, const SyncParams& params,
+                          const PscwCosts& costs = {});
+
+/// Fence latency series for all transports of Fig 6b at one process count,
+/// using the calibrated per-round costs (foMPI 2.9us, UPC 2.0us, CAF 8us,
+/// Cray MPI 6us per log2 p round).
+struct FenceSeries {
+  double fompi_us;
+  double upc_us;
+  double caf_us;
+  double craympi_us;
+};
+FenceSeries simulate_fence_all(int p, std::uint64_t seed);
+
+/// PSCW latency for foMPI and the Cray MPI comparator (Fig 6c).
+struct PscwSeries {
+  double fompi_us;
+  double craympi_us;
+};
+PscwSeries simulate_pscw_all(int p, std::uint64_t seed);
+
+}  // namespace fompi::sim

@@ -1,0 +1,180 @@
+// Collectives over the RDMA substrate: barrier, ibarrier and the data
+// collectives, across rank counts and transport configurations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "fabric/fabric.hpp"
+
+using namespace fompi;
+using fabric::RankCtx;
+
+class CollParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollParam, BarrierSeparatesPhases) {
+  const int p = GetParam();
+  std::atomic<int> arrived{0};
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    arrived.fetch_add(1);
+    ctx.barrier();
+    // After the barrier every rank must have arrived.
+    EXPECT_EQ(arrived.load(), p);
+  });
+}
+
+TEST_P(CollParam, RepeatedBarriersStayConsistent) {
+  const int p = GetParam();
+  std::atomic<std::uint64_t> counter{0};
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    for (int round = 0; round < 50; ++round) {
+      counter.fetch_add(1);
+      ctx.barrier();
+      EXPECT_EQ(counter.load() % static_cast<unsigned>(p), 0u);
+      ctx.barrier();
+    }
+  });
+}
+
+TEST_P(CollParam, Bcast) {
+  const int p = GetParam();
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    std::vector<std::uint64_t> data(17, 0);
+    if (ctx.rank() == 0) std::iota(data.begin(), data.end(), 5);
+    ctx.bcast(0, data.data(), data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) EXPECT_EQ(data[i], 5 + i);
+  });
+}
+
+TEST_P(CollParam, BcastFromNonZeroRoot) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    int v = ctx.rank() == 1 ? 77 : -1;
+    ctx.fabric().coll().bcast(ctx.rank(), 1, &v, 1);
+    EXPECT_EQ(v, 77);
+  });
+}
+
+TEST_P(CollParam, Allgather) {
+  const int p = GetParam();
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    const std::array<int, 3> mine{ctx.rank(), ctx.rank() * 10, 7};
+    std::vector<int> all(static_cast<std::size_t>(3 * p));
+    ctx.allgather(mine.data(), 3, all.data());
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all[3 * r + 0], r);
+      EXPECT_EQ(all[3 * r + 1], r * 10);
+      EXPECT_EQ(all[3 * r + 2], 7);
+    }
+  });
+}
+
+TEST_P(CollParam, AllreduceSumAndMin) {
+  const int p = GetParam();
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    const std::uint64_t mine = static_cast<std::uint64_t>(ctx.rank()) + 1;
+    std::uint64_t sum = 0;
+    ctx.allreduce(&mine, &sum, 1,
+                  [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    EXPECT_EQ(sum, static_cast<std::uint64_t>(p) * (p + 1) / 2);
+    std::uint64_t mn = 0;
+    ctx.allreduce(&mine, &mn, 1, [](std::uint64_t a, std::uint64_t b) {
+      return std::min(a, b);
+    });
+    EXPECT_EQ(mn, 1u);
+  });
+}
+
+TEST_P(CollParam, ReduceScatterBlock) {
+  const int p = GetParam();
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    // src[j] = rank + j; column j sums to p*j + p(p-1)/2.
+    std::vector<std::uint64_t> src(static_cast<std::size_t>(p));
+    for (int j = 0; j < p; ++j) {
+      src[static_cast<std::size_t>(j)] =
+          static_cast<std::uint64_t>(ctx.rank() + j);
+    }
+    std::uint64_t out = 0;
+    ctx.fabric().coll().reduce_scatter_block(
+        ctx.rank(), src.data(), &out, 1,
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    const std::uint64_t expect =
+        static_cast<std::uint64_t>(p) * ctx.rank() +
+        static_cast<std::uint64_t>(p) * (p - 1) / 2;
+    EXPECT_EQ(out, expect);
+  });
+}
+
+TEST_P(CollParam, Alltoall) {
+  const int p = GetParam();
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    std::vector<int> src(static_cast<std::size_t>(2 * p));
+    for (int j = 0; j < p; ++j) {
+      src[static_cast<std::size_t>(2 * j)] = ctx.rank() * 100 + j;
+      src[static_cast<std::size_t>(2 * j + 1)] = -j;
+    }
+    std::vector<int> dst(static_cast<std::size_t>(2 * p), 0);
+    ctx.fabric().coll().alltoall(ctx.rank(), src.data(), std::size_t{2},
+                                 dst.data());
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(dst[static_cast<std::size_t>(2 * r)], r * 100 + ctx.rank());
+      EXPECT_EQ(dst[static_cast<std::size_t>(2 * r + 1)], -ctx.rank());
+    }
+  });
+}
+
+TEST_P(CollParam, IbarrierCompletesEverywhere) {
+  const int p = GetParam();
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    auto& coll = ctx.fabric().coll();
+    for (int round = 0; round < 5; ++round) {
+      coll.ibarrier_begin(ctx.rank());
+      int polls = 0;
+      while (!coll.ibarrier_test(ctx.rank())) {
+        ++polls;
+        ctx.yield_check();
+      }
+      (void)polls;
+      ctx.barrier();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollParam,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(Collectives, IbarrierDoubleBeginRejected) {
+  fabric::run_ranks(2, [&](RankCtx& ctx) {
+    auto& coll = ctx.fabric().coll();
+    if (ctx.rank() == 0) {
+      coll.ibarrier_begin(0);
+      EXPECT_THROW(coll.ibarrier_begin(0), Error);
+      while (!coll.ibarrier_test(0)) ctx.yield_check();
+    } else {
+      coll.ibarrier_begin(1);
+      while (!coll.ibarrier_test(1)) ctx.yield_check();
+    }
+  });
+}
+
+TEST(Collectives, BarrierWorksOverInterNodeModel) {
+  fabric::FabricOptions opts;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.inject = rdma::Injection::model;
+  fabric::run_ranks(4, [&](RankCtx& ctx) {
+    for (int i = 0; i < 3; ++i) ctx.barrier();
+  }, opts);
+}
+
+TEST(Collectives, AbortPropagatesOutOfBarrier) {
+  EXPECT_THROW(
+      fabric::run_ranks(2,
+                        [&](RankCtx& ctx) {
+                          if (ctx.rank() == 0) {
+                            raise(ErrClass::arg, "rank 0 fails");
+                          }
+                          ctx.barrier();  // rank 1 must not hang
+                        }),
+      Error);
+}

@@ -1,0 +1,317 @@
+// Datatype engine: layout math, flattening minimality, pack/unpack
+// round-trips, block pairing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "datatype/datatype.hpp"
+
+using namespace fompi;
+using dt::Block;
+using dt::Datatype;
+
+TEST(Datatype, BasicProperties) {
+  const Datatype d = Datatype::f64();
+  EXPECT_EQ(d.size(), 8u);
+  EXPECT_EQ(d.extent(), 8u);
+  EXPECT_TRUE(d.is_contiguous());
+  EXPECT_EQ(d.lb(), 0);
+}
+
+TEST(Datatype, EmptyDatatypeRejected) {
+  Datatype d;
+  EXPECT_FALSE(d.valid());
+  EXPECT_THROW(d.size(), Error);
+  EXPECT_THROW(Datatype::basic(0), Error);
+}
+
+TEST(Datatype, ContiguousCollapsesToOneBlock) {
+  const Datatype d = Datatype::contiguous(10, Datatype::i32());
+  EXPECT_EQ(d.size(), 40u);
+  EXPECT_EQ(d.extent(), 40u);
+  EXPECT_TRUE(d.is_contiguous());
+  std::vector<Block> blocks;
+  d.flatten(16, 3, blocks);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], (Block{16, 120}));
+}
+
+TEST(Datatype, VectorLayout) {
+  // 3 blocks of 2 ints, stride 4 ints: |xx..|xx..|xx|
+  const Datatype d = Datatype::vector(3, 2, 4, Datatype::i32());
+  EXPECT_EQ(d.size(), 24u);
+  EXPECT_EQ(d.extent(), 40u);  // 2*4*4 + 2*4
+  EXPECT_FALSE(d.is_contiguous());
+  std::vector<Block> blocks;
+  d.flatten(0, 1, blocks);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], (Block{0, 8}));
+  EXPECT_EQ(blocks[1], (Block{16, 8}));
+  EXPECT_EQ(blocks[2], (Block{32, 8}));
+}
+
+TEST(Datatype, VectorWithUnitStrideIsContiguous) {
+  const Datatype d = Datatype::vector(4, 1, 1, Datatype::f64());
+  EXPECT_TRUE(d.is_contiguous());
+  std::vector<Block> blocks;
+  d.flatten(0, 2, blocks);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].len, 64u);
+}
+
+TEST(Datatype, AdjacentBlocksMerge) {
+  // Indexed blocks that happen to be adjacent must merge into one.
+  const Datatype d =
+      Datatype::indexed({2, 2}, {0, 2}, Datatype::i64());
+  std::vector<Block> blocks;
+  d.flatten(0, 1, blocks);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], (Block{0, 32}));
+  EXPECT_TRUE(d.is_contiguous());
+}
+
+TEST(Datatype, IndexedLayout) {
+  const Datatype d = Datatype::indexed({1, 3}, {5, 0}, Datatype::i32());
+  EXPECT_EQ(d.size(), 16u);
+  std::vector<Block> blocks;
+  d.flatten(0, 1, blocks);
+  ASSERT_EQ(blocks.size(), 2u);
+  // Flatten order follows declaration order (displ 20 then displ 0).
+  EXPECT_EQ(blocks[0], (Block{20, 4}));
+  EXPECT_EQ(blocks[1], (Block{0, 12}));
+}
+
+TEST(Datatype, StructHeterogeneous) {
+  // struct { char c; double d; int i[2]; } with explicit displacements.
+  const Datatype d = Datatype::struct_type(
+      {1, 1, 2}, {0, 8, 16}, {Datatype::u8(), Datatype::f64(),
+                              Datatype::i32()});
+  EXPECT_EQ(d.size(), 1u + 8u + 8u);
+  EXPECT_EQ(d.extent(), 24u);
+  std::vector<Block> blocks;
+  d.flatten(0, 1, blocks);
+  ASSERT_EQ(blocks.size(), 2u);  // char alone, then double+ints merge
+  EXPECT_EQ(blocks[0], (Block{0, 1}));
+  EXPECT_EQ(blocks[1], (Block{8, 16}));
+}
+
+TEST(Datatype, ResizedChangesExtentOnly) {
+  const Datatype base = Datatype::contiguous(2, Datatype::i32());
+  const Datatype d = Datatype::resized(base, 0, 32);
+  EXPECT_EQ(d.size(), 8u);
+  EXPECT_EQ(d.extent(), 32u);
+  EXPECT_FALSE(d.is_contiguous());
+  std::vector<Block> blocks;
+  d.flatten(0, 2, blocks);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], (Block{0, 8}));
+  EXPECT_EQ(blocks[1], (Block{32, 8}));
+}
+
+TEST(Datatype, NestedVectorOfVector) {
+  // A 2D sub-array: 2 rows of (2 blocks of 1 double, stride 2) = corners of
+  // a 2x4 tile inside a 4x4 matrix of doubles.
+  const Datatype row = Datatype::vector(2, 1, 2, Datatype::f64());
+  const Datatype tile = Datatype::hvector(2, 1, 4 * 8, row);
+  EXPECT_EQ(tile.size(), 4 * 8u);
+  std::vector<Block> blocks;
+  tile.flatten(0, 1, blocks);
+  ASSERT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(blocks[0], (Block{0, 8}));
+  EXPECT_EQ(blocks[1], (Block{16, 8}));
+  EXPECT_EQ(blocks[2], (Block{32, 8}));
+  EXPECT_EQ(blocks[3], (Block{48, 8}));
+}
+
+TEST(Datatype, PackUnpackVectorRoundtrip) {
+  const Datatype d = Datatype::vector(4, 2, 3, Datatype::i32());
+  std::vector<std::int32_t> src(48);
+  std::iota(src.begin(), src.end(), 0);
+  std::vector<std::int32_t> packed(d.size() / 4 * 2);
+  const std::size_t n = d.pack(src.data(), 2, packed.data());
+  EXPECT_EQ(n, d.size() * 2);
+  std::vector<std::int32_t> dst(48, -1);
+  d.unpack(packed.data(), 2, dst.data());
+  // Every position covered by the type must round-trip; gaps stay -1.
+  std::vector<Block> blocks;
+  d.flatten(0, 2, blocks);
+  std::vector<bool> covered(48 * 4, false);
+  for (const auto& b : blocks) {
+    for (std::size_t i = 0; i < b.len; ++i) covered[b.offset + i] = true;
+  }
+  for (std::size_t i = 0; i < 48; ++i) {
+    if (covered[i * 4]) {
+      EXPECT_EQ(dst[i], src[i]) << "element " << i;
+    } else {
+      EXPECT_EQ(dst[i], -1) << "gap clobbered at " << i;
+    }
+  }
+}
+
+TEST(Datatype, Subarray2dBlock) {
+  // 2x3 block at (1,1) of a 4x5 int array, row-major.
+  const Datatype d =
+      Datatype::subarray({4, 5}, {2, 3}, {1, 1}, Datatype::i32());
+  EXPECT_EQ(d.size(), 2u * 3 * 4);
+  EXPECT_EQ(d.extent(), 4u * 5 * 4);  // full array span
+  std::vector<Block> blocks;
+  d.flatten(0, 1, blocks);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], (Block{(1 * 5 + 1) * 4, 12}));
+  EXPECT_EQ(blocks[1], (Block{(2 * 5 + 1) * 4, 12}));
+}
+
+TEST(Datatype, SubarrayFullArrayIsContiguous) {
+  const Datatype d =
+      Datatype::subarray({3, 4}, {3, 4}, {0, 0}, Datatype::f64());
+  EXPECT_TRUE(d.is_contiguous());
+  EXPECT_EQ(d.size(), 3u * 4 * 8);
+}
+
+TEST(Datatype, Subarray3dPackRoundtrip) {
+  // Interior 2x2x2 of a 4x4x4 array: the halo-exchange pattern.
+  const Datatype d =
+      Datatype::subarray({4, 4, 4}, {2, 2, 2}, {1, 1, 1}, Datatype::i32());
+  EXPECT_EQ(d.size(), 8u * 4);
+  std::vector<std::int32_t> src(64);
+  std::iota(src.begin(), src.end(), 0);
+  std::vector<std::int32_t> packed(8);
+  d.pack(src.data(), 1, packed.data());
+  // Element (x,y,z) of the interior = src[(x+1)*16 + (y+1)*4 + (z+1)].
+  int i = 0;
+  for (int x = 1; x <= 2; ++x) {
+    for (int y = 1; y <= 2; ++y) {
+      for (int z = 1; z <= 2; ++z) {
+        EXPECT_EQ(packed[static_cast<std::size_t>(i++)],
+                  x * 16 + y * 4 + z);
+      }
+    }
+  }
+}
+
+TEST(Datatype, SubarrayCountWalksConsecutiveArrays) {
+  const Datatype d =
+      Datatype::subarray({2, 2}, {1, 1}, {0, 0}, Datatype::i64());
+  std::vector<Block> blocks;
+  d.flatten(0, 2, blocks);  // two consecutive 2x2 arrays
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], (Block{0, 8}));
+  EXPECT_EQ(blocks[1], (Block{32, 8}));  // next array starts 4 elems later
+}
+
+TEST(Datatype, SubarrayValidation) {
+  EXPECT_THROW(
+      Datatype::subarray({4}, {2, 2}, {0}, Datatype::i32()), Error);
+  EXPECT_THROW(
+      Datatype::subarray({4, 4}, {3, 2}, {2, 0}, Datatype::i32()), Error);
+  EXPECT_THROW(
+      Datatype::subarray({4}, {0}, {0}, Datatype::i32()), Error);
+  EXPECT_THROW(
+      Datatype::subarray({4}, {2}, {-1}, Datatype::i32()), Error);
+}
+
+TEST(Datatype, PairBlocksSplitsFragments) {
+  const std::vector<Block> origin{{0, 10}, {20, 6}};
+  const std::vector<Block> target{{100, 4}, {200, 12}};
+  std::vector<std::array<std::size_t, 3>> frags;
+  dt::pair_blocks(origin, target, [&](std::size_t o, std::size_t t,
+                                      std::size_t l) {
+    frags.push_back({o, t, l});
+  });
+  ASSERT_EQ(frags.size(), 3u);
+  EXPECT_EQ(frags[0], (std::array<std::size_t, 3>{0, 100, 4}));
+  EXPECT_EQ(frags[1], (std::array<std::size_t, 3>{4, 200, 6}));
+  EXPECT_EQ(frags[2], (std::array<std::size_t, 3>{20, 206, 6}));
+}
+
+TEST(Datatype, PairBlocksRejectsSizeMismatch) {
+  const std::vector<Block> origin{{0, 8}};
+  const std::vector<Block> target{{0, 12}};
+  EXPECT_THROW(dt::pair_blocks(origin, target,
+                               [](std::size_t, std::size_t, std::size_t) {}),
+               Error);
+}
+
+TEST(Datatype, ZeroCountFlattensToNothing) {
+  const Datatype d = Datatype::vector(3, 2, 4, Datatype::i32());
+  std::vector<Block> blocks;
+  d.flatten(0, 0, blocks);
+  EXPECT_TRUE(blocks.empty());
+  const Datatype empty = Datatype::contiguous(0, Datatype::i32());
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+// Property test: pack -> unpack into a fresh buffer reproduces exactly the
+// covered bytes, for randomly generated nested datatypes.
+class DatatypeProperty : public ::testing::TestWithParam<int> {};
+
+namespace {
+
+Datatype random_type(Rng& rng, int depth) {
+  if (depth == 0) {
+    switch (rng.below(3)) {
+      case 0: return Datatype::u8();
+      case 1: return Datatype::i32();
+      default: return Datatype::f64();
+    }
+  }
+  const Datatype child = random_type(rng, depth - 1);
+  switch (rng.below(3)) {
+    case 0:
+      return Datatype::contiguous(1 + static_cast<int>(rng.below(4)), child);
+    case 1:
+      return Datatype::vector(1 + static_cast<int>(rng.below(3)),
+                              1 + static_cast<int>(rng.below(3)),
+                              2 + static_cast<int>(rng.below(4)), child);
+    default: {
+      const int b1 = 1 + static_cast<int>(rng.below(2));
+      const int b2 = 1 + static_cast<int>(rng.below(2));
+      const int gap = b1 + 1 + static_cast<int>(rng.below(3));
+      return Datatype::indexed({b1, b2}, {0, gap}, child);
+    }
+  }
+}
+
+}  // namespace
+
+TEST_P(DatatypeProperty, PackUnpackRoundtrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const Datatype d = random_type(rng, 1 + static_cast<int>(rng.below(3)));
+  const int count = 1 + static_cast<int>(rng.below(4));
+  std::vector<Block> blocks;
+  d.flatten(0, count, blocks);
+  std::size_t span = 0;
+  std::size_t payload = 0;
+  for (const auto& b : blocks) {
+    span = std::max(span, b.offset + b.len);
+    payload += b.len;
+  }
+  EXPECT_EQ(payload, d.size() * static_cast<std::size_t>(count));
+  // Blocks are minimal: no two adjacent blocks touch.
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_NE(blocks[i - 1].offset + blocks[i - 1].len, blocks[i].offset);
+  }
+
+  std::vector<std::uint8_t> src(span + 8);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.next());
+  std::vector<std::uint8_t> packed(payload);
+  EXPECT_EQ(d.pack(src.data(), count, packed.data()), payload);
+  std::vector<std::uint8_t> dst(span + 8, 0xEE);
+  d.unpack(packed.data(), count, dst.data());
+  std::vector<bool> covered(span + 8, false);
+  for (const auto& b : blocks) {
+    for (std::size_t i = 0; i < b.len; ++i) covered[b.offset + i] = true;
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (covered[i]) {
+      ASSERT_EQ(dst[i], src[i]) << "byte " << i;
+    } else {
+      ASSERT_EQ(dst[i], 0xEE) << "gap clobbered at byte " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTypes, DatatypeProperty,
+                         ::testing::Range(0, 25));

@@ -1,0 +1,168 @@
+// 3D FFT: 1D kernel against a naive DFT, parallel forward against a
+// serial reference, round-trips, and backend equivalence.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "apps/fft.hpp"
+#include "common/rng.hpp"
+
+using namespace fompi;
+using apps::cplx;
+using apps::Fft3d;
+using apps::FftBackend;
+using fabric::RankCtx;
+
+namespace {
+
+std::vector<cplx> random_field(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cplx> v(n);
+  for (auto& x : v) x = cplx(rng.uniform() - 0.5, rng.uniform() - 0.5);
+  return v;
+}
+
+double max_err(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  double e = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    e = std::max(e, std::abs(a[i] - b[i]));
+  }
+  return e;
+}
+
+}  // namespace
+
+TEST(Fft1d, MatchesNaiveDft) {
+  for (std::size_t n : {2u, 8u, 32u, 128u}) {
+    auto in = random_field(n, n);
+    std::vector<cplx> ref;
+    apps::dft_reference(in, ref, false);
+    auto fast = in;
+    apps::fft1d(fast.data(), n, false);
+    EXPECT_LT(max_err(fast, ref), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Fft1d, RoundtripIsIdentity) {
+  auto in = random_field(256, 5);
+  auto v = in;
+  apps::fft1d(v.data(), v.size(), false);
+  apps::fft1d(v.data(), v.size(), true);
+  EXPECT_LT(max_err(v, in), 1e-12);
+}
+
+TEST(Fft1d, ParsevalHolds) {
+  auto in = random_field(64, 9);
+  double time_energy = 0;
+  for (const auto& x : in) time_energy += std::norm(x);
+  auto f = in;
+  apps::fft1d(f.data(), f.size(), false);
+  double freq_energy = 0;
+  for (const auto& x : f) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(in.size()), time_energy,
+              1e-9);
+}
+
+TEST(Fft1d, RejectsNonPowerOfTwo) {
+  std::vector<cplx> v(6);
+  EXPECT_THROW(apps::fft1d(v.data(), v.size(), false), Error);
+}
+
+class FftBackends : public ::testing::TestWithParam<FftBackend> {};
+
+TEST_P(FftBackends, RoundtripAcrossRanks) {
+  const int p = 4;
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    Fft3d fft(ctx, /*nx=*/8, /*ny=*/4, /*nz=*/8, GetParam());
+    const auto in = random_field(
+        fft.local_in_elems(), static_cast<std::uint64_t>(ctx.rank()) + 1);
+    std::vector<cplx> freq(fft.local_out_elems());
+    fft.forward(ctx, in.data(), freq.data());
+    std::vector<cplx> back(fft.local_in_elems());
+    fft.inverse(ctx, freq.data(), back.data());
+    EXPECT_LT(max_err(back, in), 1e-10);
+    fft.destroy(ctx);
+  });
+}
+
+TEST_P(FftBackends, MatchesSerialTransform) {
+  // Run the distributed FFT on 2 ranks and the same grid on 1 rank; the
+  // spectra must agree (accounting for the slab layouts).
+  constexpr int nx = 4, ny = 4, nz = 4;
+  const std::size_t n3 = nx * ny * nz;
+  // Global input, z-major layout: global[z][y][x].
+  const auto global_in = random_field(n3, 77);
+  std::vector<cplx> serial_freq;  // x-slab layout on 1 rank: [x][z][y]
+  fabric::run_ranks(1, [&](RankCtx& ctx) {
+    Fft3d fft(ctx, nx, ny, nz, GetParam());
+    serial_freq.resize(fft.local_out_elems());
+    fft.forward(ctx, global_in.data(), serial_freq.data());
+    fft.destroy(ctx);
+  });
+  std::vector<cplx> par_freq(n3);
+  std::mutex mu;
+  const int p = 2;
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    Fft3d fft(ctx, nx, ny, nz, GetParam());
+    const int lz = fft.lz(), lx = fft.lx();
+    std::vector<cplx> in(fft.local_in_elems());
+    for (int z = 0; z < lz; ++z) {
+      const int gz = ctx.rank() * lz + z;
+      std::copy(global_in.begin() + gz * ny * nx,
+                global_in.begin() + (gz + 1) * ny * nx,
+                in.begin() + static_cast<std::size_t>(z) * ny * nx);
+    }
+    std::vector<cplx> freq(fft.local_out_elems());
+    fft.forward(ctx, in.data(), freq.data());
+    {
+      std::scoped_lock lock(mu);
+      for (int xl = 0; xl < lx; ++xl) {
+        const int gx = ctx.rank() * lx + xl;
+        std::copy(freq.begin() + static_cast<std::size_t>(xl) * nz * ny,
+                  freq.begin() + static_cast<std::size_t>(xl + 1) * nz * ny,
+                  par_freq.begin() + static_cast<std::size_t>(gx) * nz * ny);
+      }
+    }
+    fft.destroy(ctx);
+  });
+  EXPECT_LT(max_err(par_freq, serial_freq), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FftBackends,
+                         ::testing::Values(FftBackend::p2p,
+                                           FftBackend::rma_overlap));
+
+TEST(Fft3d, BackendsProduceIdenticalSpectra) {
+  constexpr int nx = 8, ny = 4, nz = 8;
+  std::vector<cplx> freq_p2p, freq_rma;
+  std::mutex mu;
+  for (auto backend : {FftBackend::p2p, FftBackend::rma_overlap}) {
+    fabric::run_ranks(2, [&](RankCtx& ctx) {
+      Fft3d fft(ctx, nx, ny, nz, backend);
+      const auto in = random_field(
+          fft.local_in_elems(), static_cast<std::uint64_t>(ctx.rank()) + 31);
+      std::vector<cplx> freq(fft.local_out_elems());
+      fft.forward(ctx, in.data(), freq.data());
+      {
+        std::scoped_lock lock(mu);
+        auto& dst = backend == FftBackend::p2p ? freq_p2p : freq_rma;
+        dst.resize(2 * fft.local_out_elems());
+        std::copy(freq.begin(), freq.end(),
+                  dst.begin() + static_cast<std::size_t>(ctx.rank()) *
+                                    fft.local_out_elems());
+      }
+      fft.destroy(ctx);
+    });
+  }
+  ASSERT_EQ(freq_p2p.size(), freq_rma.size());
+  EXPECT_LT(max_err(freq_p2p, freq_rma), 1e-12);
+}
+
+TEST(Fft3d, InvalidDecompositionRejected) {
+  EXPECT_THROW(fabric::run_ranks(3,
+                                 [](RankCtx& ctx) {
+                                   Fft3d fft(ctx, 8, 8, 8, FftBackend::p2p);
+                                   fft.destroy(ctx);
+                                 }),
+               Error);
+}

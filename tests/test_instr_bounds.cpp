@@ -1,0 +1,174 @@
+// The "thin veneer" claims (Sec 2.4/6): the MPI window layer must add only
+// a small constant number of critical-path events on top of the raw
+// transport. These bounds are the op-count analog of the paper's
+// instruction counts (flush 78, put/get fast path 173 x86 instructions):
+// regressions that add per-op work on the fast path fail here.
+#include <gtest/gtest.h>
+
+#include "core/window.hpp"
+
+using namespace fompi;
+using core::Win;
+using fabric::RankCtx;
+
+namespace {
+
+OpCounters delta_of(const std::function<void()>& fn) {
+  const OpCounters before = op_counters();
+  fn();
+  return op_counters().since(before);
+}
+
+}  // namespace
+
+TEST(InstrBounds, PutFastPathIsOneTransportOp) {
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 256);
+    std::array<std::uint64_t, 4> buf{};
+    if (ctx.rank() == 0) {
+      win.lock_all();
+      win.put(buf.data(), 8, 1, 0);  // warm
+      const auto d = delta_of([&] { win.put(buf.data(), 8, 1, 0); });
+      EXPECT_EQ(d.get(Op::transport_put), 1u);
+      EXPECT_EQ(d.get(Op::transport_get), 0u);
+      EXPECT_EQ(d.get(Op::transport_amo), 0u);
+      EXPECT_LE(d.total_ops(), 6u) << "put fast path grew";
+      win.unlock_all();
+    }
+    ctx.barrier();
+    win.free();
+  });
+}
+
+TEST(InstrBounds, GetFastPathIsOneTransportOp) {
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 256);
+    std::array<std::uint64_t, 4> buf{};
+    if (ctx.rank() == 0) {
+      win.lock_all();
+      win.get(buf.data(), 8, 1, 0);
+      const auto d = delta_of([&] { win.get(buf.data(), 8, 1, 0); });
+      EXPECT_EQ(d.get(Op::transport_get), 1u);
+      EXPECT_LE(d.total_ops(), 6u) << "get fast path grew";
+      win.unlock_all();
+    }
+    ctx.barrier();
+    win.free();
+  });
+}
+
+TEST(InstrBounds, FlushIsOneBulkSyncPlusFence) {
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    if (ctx.rank() == 0) {
+      win.lock_all();
+      win.flush_all();
+      const auto d = delta_of([&] { win.flush_all(); });
+      EXPECT_EQ(d.get(Op::bulk_sync), 1u);
+      EXPECT_GE(d.get(Op::memory_fence), 1u);
+      EXPECT_LE(d.total_ops(), 5u) << "flush path grew";
+      win.unlock_all();
+    }
+    ctx.barrier();
+    win.free();
+  });
+}
+
+TEST(InstrBounds, AcceleratedAccumulateIsOneAmoPerElement) {
+  fabric::FabricOptions opts;
+  opts.domain.ranks_per_node = 1;
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 256);
+    std::array<std::uint64_t, 8> vals{};
+    if (ctx.rank() == 0) {
+      win.lock_all();
+      win.accumulate(vals.data(), 1, Elem::u64, RedOp::sum, 1, 0);
+      const auto d = delta_of(
+          [&] { win.accumulate(vals.data(), 8, Elem::u64, RedOp::sum, 1, 0); });
+      EXPECT_EQ(d.get(Op::transport_amo), 8u);
+      EXPECT_EQ(d.get(Op::transport_put), 0u);
+      win.unlock_all();
+    }
+    ctx.barrier();
+    win.free();
+  }, opts);
+}
+
+TEST(InstrBounds, FallbackAccumulatePaysLockGetPut) {
+  fabric::FabricOptions opts;
+  opts.domain.ranks_per_node = 1;
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 256);
+    std::array<std::uint64_t, 4> vals{};
+    if (ctx.rank() == 0) {
+      win.lock_all();
+      const auto d = delta_of(
+          [&] { win.accumulate(vals.data(), 4, Elem::u64, RedOp::min, 1, 0); });
+      // lock (>=1 AMO) + get + put + unlock (1 AMO).
+      EXPECT_GE(d.get(Op::transport_amo), 2u);
+      EXPECT_EQ(d.get(Op::transport_get), 1u);
+      EXPECT_EQ(d.get(Op::transport_put), 1u);
+      win.unlock_all();
+    }
+    ctx.barrier();
+    win.free();
+  }, opts);
+}
+
+TEST(InstrBounds, UncontendedLocksCostConstantAmos) {
+  fabric::FabricOptions opts;
+  opts.domain.ranks_per_node = 1;
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    // The global lock lives at the master (rank 0); AMOs to self count as
+    // local atomics, so sum both counters.
+    auto amos = [](const OpCounters& d) {
+      return d.get(Op::transport_amo) + d.get(Op::local_atomic);
+    };
+    if (ctx.rank() == 0) {
+      // Shared lock: one AMO to take, one to release.
+      auto d = delta_of([&] {
+        win.lock(core::LockType::shared, 1);
+        win.unlock(1);
+      });
+      EXPECT_EQ(amos(d), 2u);
+      // First exclusive lock: two AMOs to take (global + local CAS),
+      // two to release.
+      d = delta_of([&] {
+        win.lock(core::LockType::exclusive, 1);
+        win.unlock(1);
+      });
+      EXPECT_EQ(amos(d), 4u);
+      // lock_all: one AMO each way (the global word only).
+      d = delta_of([&] {
+        win.lock_all();
+        win.unlock_all();
+      });
+      EXPECT_EQ(amos(d), 2u);
+    }
+    ctx.barrier();
+    win.free();
+  }, opts);
+}
+
+TEST(InstrBounds, PscwMessageCountsMatchPaper) {
+  // post/complete issue O(k) messages; start/wait issue none (Sec 2.3).
+  fabric::FabricOptions opts;
+  opts.domain.ranks_per_node = 1;
+  fabric::run_ranks(3, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    const int p = 3;
+    const fabric::Group nb{(ctx.rank() + 1) % p, (ctx.rank() + 2) % p};
+    const auto d_post = delta_of([&] { win.post(nb); });
+    EXPECT_GE(d_post.get(Op::transport_amo), 2u);  // k CAS insertions
+    const auto d_start = delta_of([&] { win.start(nb); });
+    EXPECT_EQ(d_start.get(Op::transport_amo), 0u);
+    EXPECT_EQ(d_start.get(Op::transport_put), 0u);
+    const auto d_complete = delta_of([&] { win.complete(); });
+    EXPECT_EQ(d_complete.get(Op::transport_amo), 2u);  // k counter bumps
+    const auto d_wait = delta_of([&] { win.wait(); });
+    EXPECT_EQ(d_wait.get(Op::transport_amo), 0u);
+    EXPECT_EQ(d_wait.get(Op::transport_put), 0u);
+    win.free();
+  }, opts);
+}

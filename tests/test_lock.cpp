@@ -1,0 +1,223 @@
+// Passive target synchronization: the two-level lock protocol of Fig 3.
+// Includes a property test asserting the reader/writer invariants under a
+// randomized concurrent schedule.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "core/window.hpp"
+
+using namespace fompi;
+using core::LockType;
+using core::Win;
+using fabric::RankCtx;
+
+TEST(Lock, SharedLockAllowsConcurrentReaders) {
+  fabric::run_ranks(4, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    if (ctx.rank() == 0) {
+      auto* mine = static_cast<std::uint64_t*>(win.base());
+      mine[0] = 321;
+      win.sync();
+    }
+    ctx.barrier();
+    if (ctx.rank() != 0) {
+      win.lock(LockType::shared, 0);
+      std::uint64_t v = 0;
+      win.get(&v, 8, 0, 0);
+      win.flush(0);
+      EXPECT_EQ(v, 321u);
+      win.unlock(0);
+    }
+    ctx.barrier();
+    win.free();
+  });
+}
+
+TEST(Lock, ExclusiveLockSerializesIncrements) {
+  // Classic mutual-exclusion check: non-atomic read-modify-write under an
+  // exclusive lock must not lose updates.
+  const int p = 4;
+  const int kIters = 25;
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    for (int i = 0; i < kIters; ++i) {
+      win.lock(LockType::exclusive, 0);
+      std::uint64_t v = 0;
+      win.get(&v, 8, 0, 0);
+      win.flush(0);
+      ++v;
+      win.put(&v, 8, 0, 0);
+      win.unlock(0);
+    }
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      auto* mine = static_cast<std::uint64_t*>(win.base());
+      win.sync();
+      EXPECT_EQ(mine[0], static_cast<std::uint64_t>(p * kIters));
+    }
+    win.free();
+  });
+}
+
+TEST(Lock, LockAllConcurrentWithReaders) {
+  fabric::run_ranks(4, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    auto* mine = static_cast<std::uint64_t*>(win.base());
+    mine[0] = static_cast<std::uint64_t>(ctx.rank() + 1);
+    win.sync();
+    ctx.barrier();
+    win.lock_all();
+    std::uint64_t sum = 0;
+    for (int r = 0; r < 4; ++r) {
+      std::uint64_t v = 0;
+      win.get(&v, 8, r, 0);
+      win.flush(r);
+      sum += v;
+    }
+    EXPECT_EQ(sum, 1u + 2 + 3 + 4);
+    win.unlock_all();
+    win.free();
+  });
+}
+
+TEST(Lock, ExclusiveExcludesLockAll) {
+  // Interleave lock_all epochs with exclusive locks; exclusive writers
+  // mutate a counter non-atomically, lock_all readers must always observe
+  // a stable snapshot (writer never concurrent with global shared).
+  const int p = 3;
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    Rng rng(static_cast<std::uint64_t>(ctx.rank()) + 77);
+    for (int i = 0; i < 20; ++i) {
+      if (rng.below(2) == 0) {
+        win.lock(LockType::exclusive, 0);
+        // Write a torn-looking pair that must never be observed torn.
+        std::uint64_t a = rng.next() & 0xffff;
+        win.put(&a, 8, 0, 0);
+        win.flush(0);
+        win.put(&a, 8, 0, 8);
+        win.unlock(0);
+      } else {
+        win.lock_all();
+        std::uint64_t x = 0, y = 0;
+        win.get(&x, 8, 0, 0);
+        win.get(&y, 8, 0, 8);
+        win.flush(0);
+        EXPECT_EQ(x, y) << "lock_all observed a torn exclusive write";
+        win.unlock_all();
+      }
+    }
+    win.free();
+  });
+}
+
+TEST(Lock, MultipleExclusiveLocksHeldTogether) {
+  fabric::run_ranks(3, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    if (ctx.rank() == 0) {
+      win.lock(LockType::exclusive, 1);
+      win.lock(LockType::exclusive, 2);  // second lock: global kept
+      std::uint64_t v = 5;
+      win.put(&v, 8, 1, 0);
+      win.put(&v, 8, 2, 0);
+      win.unlock(2);
+      win.unlock(1);
+    }
+    ctx.barrier();
+    win.free();
+  });
+}
+
+TEST(Lock, MisuseDetected) {
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    EXPECT_THROW(win.unlock(0), Error);
+    EXPECT_THROW(win.unlock_all(), Error);
+    EXPECT_THROW(win.flush(0), Error);  // no passive epoch
+    win.lock(LockType::shared, 0);
+    EXPECT_THROW(win.lock(LockType::shared, 0), Error);  // double lock
+    EXPECT_THROW(win.lock_all(), Error);  // mixing per-target and lock_all
+    win.unlock(0);
+    win.lock_all();
+    EXPECT_THROW(win.lock_all(), Error);
+    win.unlock_all();
+    win.free();
+  });
+}
+
+TEST(Lock, UnlockMakesWritesVisible) {
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    auto* mine = static_cast<std::uint64_t*>(win.base());
+    if (ctx.rank() == 0) {
+      win.lock(LockType::exclusive, 1);
+      const std::uint64_t v = 2024;
+      win.put(&v, 8, 1, 0);
+      win.unlock(1);  // must commit the put
+      ctx.barrier();
+    } else {
+      ctx.barrier();
+      win.sync();
+      EXPECT_EQ(mine[0], 2024u);
+    }
+    win.free();
+  });
+}
+
+// Property test: run a randomized mix of shared/exclusive/lock_all epochs
+// on several ranks; instrumented critical sections assert the reader-writer
+// invariants directly.
+class LockSchedule : public ::testing::TestWithParam<int> {};
+
+TEST_P(LockSchedule, InvariantsHoldUnderRandomSchedules) {
+  const int p = 4;
+  struct Shared {
+    std::atomic<int> writers{0};
+    std::atomic<int> readers{0};
+    std::atomic<int> globals{0};
+  };
+  Shared state;
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    Rng rng(seed * 1000 + static_cast<std::uint64_t>(ctx.rank()));
+    for (int i = 0; i < 15; ++i) {
+      switch (rng.below(3)) {
+        case 0: {  // exclusive on rank 0
+          win.lock(LockType::exclusive, 0);
+          EXPECT_EQ(state.writers.fetch_add(1), 0);
+          EXPECT_EQ(state.readers.load(), 0);
+          EXPECT_EQ(state.globals.load(), 0);
+          std::this_thread::yield();
+          state.writers.fetch_sub(1);
+          win.unlock(0);
+          break;
+        }
+        case 1: {  // shared on rank 0
+          win.lock(LockType::shared, 0);
+          state.readers.fetch_add(1);
+          EXPECT_EQ(state.writers.load(), 0);
+          std::this_thread::yield();
+          state.readers.fetch_sub(1);
+          win.unlock(0);
+          break;
+        }
+        default: {  // lock_all
+          win.lock_all();
+          state.globals.fetch_add(1);
+          EXPECT_EQ(state.writers.load(), 0);
+          std::this_thread::yield();
+          state.globals.fetch_sub(1);
+          win.unlock_all();
+          break;
+        }
+      }
+    }
+    win.free();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockSchedule, ::testing::Range(0, 8));

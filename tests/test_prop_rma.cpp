@@ -1,0 +1,158 @@
+// Property tests: randomized one-sided workloads with a deterministic
+// expected outcome, executed under every delivery/transport mode.
+//
+// Each origin owns a disjoint stripe in every target's window, so any
+// interleaving of the one-sided traffic must produce the same final
+// window contents; the test replays the workload against a local model
+// and compares after each epoch.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/rng.hpp"
+#include "core/window.hpp"
+
+using namespace fompi;
+using core::Win;
+using fabric::RankCtx;
+
+namespace {
+
+struct ModeCase {
+  rdma::Delivery delivery;
+  int ranks_per_node;
+  bool shuffle;
+};
+
+fabric::FabricOptions opts_for(const ModeCase& m) {
+  fabric::FabricOptions o;
+  o.domain.delivery = m.delivery;
+  o.domain.ranks_per_node = m.ranks_per_node;
+  o.domain.shuffle_deferred = m.shuffle;
+  return o;
+}
+
+}  // namespace
+
+class RmaWorkload
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};  // (seed, mode)
+
+TEST_P(RmaWorkload, FenceEpochsMatchSequentialModel) {
+  const int seed = std::get<0>(GetParam());
+  const std::array<ModeCase, 3> modes{
+      ModeCase{rdma::Delivery::immediate, 0, false},
+      ModeCase{rdma::Delivery::deferred, 1, true},
+      ModeCase{rdma::Delivery::deferred, 2, true},
+  };
+  const ModeCase mode = modes[static_cast<std::size_t>(std::get<1>(GetParam()))];
+
+  constexpr int p = 4;
+  constexpr std::size_t kStripe = 128;  // bytes per (origin, target) stripe
+  constexpr int kEpochs = 6;
+  constexpr int kOpsPerEpoch = 12;  // <= kStripe/8 distinct cells per epoch
+
+  // Global model: model[target][byte] mirrors the expected window bytes.
+  std::array<std::array<std::uint8_t, kStripe * p>, p> model{};
+
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    const int me = ctx.rank();
+    Win win = Win::allocate(ctx, kStripe * p);
+    Rng rng(static_cast<std::uint64_t>(seed) * 97 +
+            static_cast<std::uint64_t>(me));
+    // Local mirror of what this rank has written to each target.
+    win.fence();
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      for (int op = 0; op < kOpsPerEpoch; ++op) {
+        const int target = static_cast<int>(rng.below(p));
+        // One 8-byte cell per op index: MPI forbids overlapping puts to
+        // the same location within an epoch, and the shuffled-delivery
+        // mode enforces exactly that (same-epoch order is not preserved).
+        const std::size_t off = static_cast<std::size_t>(op) * 8;
+        const std::size_t len = 1 + rng.below(8);
+        std::array<std::uint8_t, 8> data{};
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+        const std::size_t disp = static_cast<std::size_t>(me) * kStripe + off;
+        win.put(data.data(), len, target, disp);
+        std::memcpy(&model[static_cast<std::size_t>(target)][disp], data.data(),
+                    len);
+      }
+      win.fence();
+      // After the fence, the local window must equal the model (the model
+      // array is written identically on all ranks because each stripe has
+      // a unique writer and the RNG streams are per-rank deterministic —
+      // but each rank only fills its own stripes; check only those after
+      // full replay below).
+    }
+    // Final check: read back every stripe I own remotely and compare with
+    // what I recorded locally.
+    std::array<std::uint8_t, kStripe> readback{};
+    for (int target = 0; target < p; ++target) {
+      win.get(readback.data(), kStripe, target,
+              static_cast<std::size_t>(me) * kStripe);
+      win.fence();
+      EXPECT_EQ(std::memcmp(readback.data(),
+                            &model[static_cast<std::size_t>(target)]
+                                  [static_cast<std::size_t>(me) * kStripe],
+                            kStripe),
+                0)
+          << "stripe mismatch: origin " << me << " target " << target;
+    }
+    win.free();
+  }, opts_for(mode));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, RmaWorkload,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 3)));
+
+// Concurrent accumulate linearizability: all ranks add into shared
+// counters through different op mixes; the total must be exact.
+class AccumulateStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccumulateStress, SumsAreExactUnderContention) {
+  const int p = 4;
+  const int kIters = 40;
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  fabric::run_ranks(p, [&](fabric::RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 128);
+    Rng rng(seed * 131 + static_cast<std::uint64_t>(ctx.rank()));
+    win.lock_all();
+    std::uint64_t my_sum_contrib = 0;
+    for (int i = 0; i < kIters; ++i) {
+      const int target = static_cast<int>(rng.below(p));
+      const std::uint64_t v = 1 + rng.below(100);
+      switch (rng.below(3)) {
+        case 0:
+          win.accumulate(&v, 1, Elem::u64, RedOp::sum, target, 0);
+          break;
+        case 1: {
+          std::uint64_t old = 0;
+          win.fetch_and_op(&v, &old, Elem::u64, RedOp::sum, target, 0);
+          break;
+        }
+        default: {
+          std::uint64_t old = 0;
+          win.get_accumulate(&v, &old, 1, Elem::u64, RedOp::sum, target, 0);
+          break;
+        }
+      }
+      my_sum_contrib += v;
+    }
+    win.flush_all();
+    win.unlock_all();
+    ctx.barrier();
+    // Total across all counters must equal the sum of contributions.
+    std::uint64_t local_counter = 0;
+    std::memcpy(&local_counter, win.base(), 8);
+    std::uint64_t total_counter = 0, total_contrib = 0;
+    ctx.allreduce(&local_counter, &total_counter, 1,
+                  [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    ctx.allreduce(&my_sum_contrib, &total_contrib, 1,
+                  [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    EXPECT_EQ(total_counter, total_contrib);
+    win.free();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccumulateStress, ::testing::Range(0, 6));

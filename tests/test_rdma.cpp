@@ -1,0 +1,377 @@
+// Unit tests for the RDMA substrate: registration, AMOs, the simulated NIC
+// in all delivery/injection modes, and the network model.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "common/buffer.hpp"
+#include "common/timing.hpp"
+#include "rdma/network_model.hpp"
+#include "rdma/nic.hpp"
+
+using namespace fompi;
+using namespace fompi::rdma;
+
+namespace {
+
+DomainConfig two_rank_internode() {
+  DomainConfig cfg;
+  cfg.nranks = 2;
+  cfg.ranks_per_node = 1;  // force the "DMAPP" path
+  return cfg;
+}
+
+}  // namespace
+
+// --- registration ------------------------------------------------------------
+
+TEST(Region, RegisterResolveDeregister) {
+  RegionRegistry reg;
+  AlignedBuffer mem(256);
+  const RegionDesc d = reg.register_region(3, mem.data(), 256);
+  EXPECT_EQ(d.owner, 3);
+  EXPECT_EQ(d.size, 256u);
+  EXPECT_NE(d.rkey, 0u);
+  EXPECT_EQ(reg.resolve(d.rkey, 3, 0, 256), mem.data());
+  EXPECT_EQ(reg.resolve(d.rkey, 3, 16, 8), mem.data() + 16);
+  reg.deregister(d.rkey);
+  EXPECT_EQ(reg.live_count(), 0u);
+  EXPECT_THROW(reg.resolve(d.rkey, 3, 0, 8), Error);
+}
+
+TEST(Region, RejectsOutOfRangeAccess) {
+  RegionRegistry reg;
+  AlignedBuffer mem(64);
+  const RegionDesc d = reg.register_region(0, mem.data(), 64);
+  EXPECT_THROW(reg.resolve(d.rkey, 0, 60, 8), Error);
+  EXPECT_THROW(reg.resolve(d.rkey, 0, 65, 0), Error);
+  EXPECT_NO_THROW(reg.resolve(d.rkey, 0, 56, 8));
+  EXPECT_NO_THROW(reg.resolve(d.rkey, 0, 64, 0));
+}
+
+TEST(Region, RejectsWrongOwner) {
+  RegionRegistry reg;
+  AlignedBuffer mem(64);
+  const RegionDesc d = reg.register_region(1, mem.data(), 64);
+  EXPECT_THROW(reg.resolve(d.rkey, 2, 0, 8), Error);
+}
+
+TEST(Region, RejectsDoubleDeregister) {
+  RegionRegistry reg;
+  AlignedBuffer mem(64);
+  const RegionDesc d = reg.register_region(0, mem.data(), 64);
+  reg.deregister(d.rkey);
+  EXPECT_THROW(reg.deregister(d.rkey), Error);
+}
+
+// --- AMO ALU --------------------------------------------------------------------
+
+TEST(Amo, FetchAddReturnsOld) {
+  alignas(8) std::uint64_t word = 10;
+  EXPECT_EQ(apply_amo(&word, AmoOp::fetch_add, 5, 0), 10u);
+  EXPECT_EQ(word, 15u);
+}
+
+TEST(Amo, BitwiseOps) {
+  alignas(8) std::uint64_t word = 0b1100;
+  EXPECT_EQ(apply_amo(&word, AmoOp::fetch_and, 0b1010, 0), 0b1100u);
+  EXPECT_EQ(word, 0b1000u);
+  apply_amo(&word, AmoOp::fetch_or, 0b0011, 0);
+  EXPECT_EQ(word, 0b1011u);
+  apply_amo(&word, AmoOp::fetch_xor, 0b1111, 0);
+  EXPECT_EQ(word, 0b0100u);
+}
+
+TEST(Amo, SwapAndRead) {
+  alignas(8) std::uint64_t word = 42;
+  EXPECT_EQ(apply_amo(&word, AmoOp::swap, 7, 0), 42u);
+  EXPECT_EQ(apply_amo(&word, AmoOp::read, 0, 0), 7u);
+  EXPECT_EQ(word, 7u);
+}
+
+TEST(Amo, CasSucceedsAndFails) {
+  alignas(8) std::uint64_t word = 5;
+  EXPECT_EQ(apply_amo(&word, AmoOp::cas, 9, 5), 5u);  // matched: swapped
+  EXPECT_EQ(word, 9u);
+  EXPECT_EQ(apply_amo(&word, AmoOp::cas, 1, 5), 9u);  // mismatched: untouched
+  EXPECT_EQ(word, 9u);
+}
+
+TEST(Amo, RejectsMisalignedTarget) {
+  alignas(8) std::uint64_t words[2] = {0, 0};
+  auto* misaligned = reinterpret_cast<std::byte*>(words) + 4;
+  EXPECT_THROW(apply_amo(misaligned, AmoOp::fetch_add, 1, 0), Error);
+}
+
+// --- network model ----------------------------------------------------------------
+
+TEST(NetworkModel, LatencyIsMonotoneInSize) {
+  NetworkModel m;
+  double prev = 0;
+  for (std::size_t s = 8; s <= (1u << 20); s *= 2) {
+    const double t = m.put_latency_ns(s);
+    EXPECT_GT(t, 0.0);
+    if (s > static_cast<std::size_t>(m.bte_threshold) * 2) {
+      EXPECT_GT(t, prev);
+    }
+    prev = t;
+  }
+}
+
+TEST(NetworkModel, MatchesPaperConstantsAtAnchors) {
+  NetworkModel m;
+  // P_put ≈ 1us small, P_get ≈ 1.9us small (Sec 3.1).
+  EXPECT_NEAR(m.put_latency_ns(8), 1000.0, 150.0);
+  EXPECT_NEAR(m.get_latency_ns(8), 1900.0, 150.0);
+  EXPECT_NEAR(m.amo_latency_ns(), 2400.0, 1.0);
+  // Large-message bandwidth close to the 0.145-0.17 ns/B regime.
+  const double per_byte =
+      (m.put_latency_ns(1 << 22) - m.put_latency_ns(1 << 21)) / (1 << 21);
+  EXPECT_NEAR(per_byte, 0.145, 0.03);
+}
+
+TEST(NetworkModel, ProtocolChangeVisible) {
+  NetworkModel m;
+  // The FMA->BTE switch is a kink in the curve (the Fig 4a annotation):
+  // extrapolating the FMA line past the threshold must disagree with the
+  // actual BTE cost, and the per-byte slope must change across it.
+  const std::size_t th = m.bte_threshold;
+  const double fma_slope =
+      (m.put_latency_ns(th - 64) - m.put_latency_ns(th - 128)) / 64.0;
+  const double bte_slope =
+      (m.put_latency_ns(2 * th) - m.put_latency_ns(2 * th - 64)) / 64.0;
+  EXPECT_GT(std::abs(fma_slope - bte_slope), 1e-3);
+  const double fma_extrapolated =
+      m.put_latency_ns(th - 64) + fma_slope * 64.0;
+  EXPECT_NE(fma_extrapolated, m.put_latency_ns(th));
+  // BTE amortizes its setup: by 4x the threshold it must win over the
+  // extrapolated FMA cost.
+  const double fma_far = m.put_latency_ns(th - 64) +
+                         fma_slope * static_cast<double>(3 * th + 64);
+  EXPECT_LT(m.put_latency_ns(4 * th), fma_far);
+}
+
+// --- NIC data movement ---------------------------------------------------------------
+
+class NicModes : public ::testing::TestWithParam<std::tuple<Delivery, bool>> {
+};
+
+TEST_P(NicModes, PutGetRoundtrip) {
+  DomainConfig cfg = two_rank_internode();
+  cfg.delivery = std::get<0>(GetParam());
+  cfg.shuffle_deferred = std::get<1>(GetParam());
+  Domain dom(cfg);
+  AlignedBuffer mem(256);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 256);
+
+  std::vector<std::uint8_t> src(64);
+  std::iota(src.begin(), src.end(), 1);
+  Nic& nic = dom.nic(0);
+  nic.put(1, d, 32, src.data(), src.size());
+  std::vector<std::uint8_t> back(64, 0);
+  nic.get(1, d, 32, back.data(), back.size());
+  EXPECT_EQ(back, src);
+}
+
+TEST_P(NicModes, ImplicitOpsCompleteAtGsync) {
+  DomainConfig cfg = two_rank_internode();
+  cfg.delivery = std::get<0>(GetParam());
+  cfg.shuffle_deferred = std::get<1>(GetParam());
+  Domain dom(cfg);
+  AlignedBuffer mem(1024);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 1024);
+  Nic& nic = dom.nic(0);
+  std::vector<std::uint64_t> vals(16);
+  std::iota(vals.begin(), vals.end(), 100);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    nic.put_nbi(1, d, i * 8, &vals[i], 8);
+  }
+  EXPECT_GT(nic.outstanding(), 0u);
+  nic.gsync();
+  EXPECT_EQ(nic.outstanding(), 0u);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, mem.data() + i * 8, 8);
+    EXPECT_EQ(v, vals[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, NicModes,
+    ::testing::Values(std::make_tuple(Delivery::immediate, false),
+                      std::make_tuple(Delivery::deferred, false),
+                      std::make_tuple(Delivery::deferred, true)));
+
+TEST(Nic, DeferredPutInvisibleUntilCompletion) {
+  DomainConfig cfg = two_rank_internode();
+  cfg.delivery = Delivery::deferred;
+  Domain dom(cfg);
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  Nic& nic = dom.nic(0);
+  const std::uint64_t v = 0xdeadbeef;
+  const Handle h = nic.put_nb(1, d, 0, &v, 8);
+  std::uint64_t seen = 0;
+  std::memcpy(&seen, mem.data(), 8);
+  EXPECT_EQ(seen, 0u) << "deferred put leaked before completion";
+  nic.wait(h);
+  std::memcpy(&seen, mem.data(), 8);
+  EXPECT_EQ(seen, v);
+}
+
+TEST(Nic, DeferredSourceBufferReusableAfterIssue) {
+  // The NIC stages the payload at issue, so mutating the source afterwards
+  // must not change what lands at the target.
+  DomainConfig cfg = two_rank_internode();
+  cfg.delivery = Delivery::deferred;
+  Domain dom(cfg);
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  Nic& nic = dom.nic(0);
+  std::uint64_t v = 111;
+  const Handle h = nic.put_nb(1, d, 0, &v, 8);
+  v = 222;
+  nic.wait(h);
+  std::uint64_t seen = 0;
+  std::memcpy(&seen, mem.data(), 8);
+  EXPECT_EQ(seen, 111u);
+}
+
+TEST(Nic, ExplicitHandleSurvivesGsync) {
+  DomainConfig cfg = two_rank_internode();
+  cfg.delivery = Delivery::deferred;
+  Domain dom(cfg);
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  Nic& nic = dom.nic(0);
+  const std::uint64_t v = 7;
+  const Handle h = nic.put_nb(1, d, 0, &v, 8);
+  nic.gsync();  // must not invalidate h
+  EXPECT_NO_THROW(nic.wait(h));
+}
+
+TEST(Nic, BlockingAmoAppliesImmediatelyEvenDeferred) {
+  DomainConfig cfg = two_rank_internode();
+  cfg.delivery = Delivery::deferred;
+  Domain dom(cfg);
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  Nic& nic = dom.nic(0);
+  EXPECT_EQ(nic.amo(1, d, 0, AmoOp::fetch_add, 3), 0u);
+  EXPECT_EQ(nic.amo(1, d, 0, AmoOp::fetch_add, 4), 3u);
+  std::uint64_t seen = 0;
+  std::memcpy(&seen, mem.data(), 8);
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(Nic, AmoFetchThroughExplicitHandle) {
+  Domain dom(two_rank_internode());
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  Nic& nic = dom.nic(0);
+  nic.amo(1, d, 8, AmoOp::fetch_add, 41);
+  std::uint64_t fetched = 0;
+  const Handle h = nic.amo_nb(1, d, 8, AmoOp::fetch_add, 1, 0, &fetched);
+  nic.wait(h);
+  EXPECT_EQ(fetched, 41u);
+}
+
+TEST(Nic, UnknownHandleRaises) {
+  Domain dom(two_rank_internode());
+  Nic& nic = dom.nic(0);
+  EXPECT_THROW(nic.wait(12345), Error);
+  EXPECT_THROW(nic.test(12345), Error);
+  EXPECT_NO_THROW(nic.wait(kDoneHandle));
+  EXPECT_TRUE(nic.test(kDoneHandle));
+}
+
+TEST(Nic, GsyncIdempotentWhenIdle) {
+  Domain dom(two_rank_internode());
+  Nic& nic = dom.nic(0);
+  EXPECT_EQ(nic.outstanding(), 0u);
+  nic.gsync();
+  nic.gsync();
+  EXPECT_EQ(nic.outstanding(), 0u);
+}
+
+TEST(Nic, DeferredGetReadsAtCompletionTime) {
+  // A deferred get must observe the target memory as of its completion,
+  // not its issue — the weakest legal RDMA read behaviour.
+  DomainConfig cfg = two_rank_internode();
+  cfg.delivery = Delivery::deferred;
+  Domain dom(cfg);
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  Nic& nic = dom.nic(0);
+  std::uint64_t out = 0;
+  const Handle h = nic.get_nb(1, d, 0, &out, 8);
+  // Target memory changes after issue but before completion.
+  std::atomic_ref<std::uint64_t>(
+      *reinterpret_cast<std::uint64_t*>(mem.data()))
+      .store(99, std::memory_order_release);
+  nic.wait(h);
+  EXPECT_EQ(out, 99u);
+}
+
+TEST(Domain, NodeMappingVariants) {
+  DomainConfig cfg;
+  cfg.nranks = 6;
+  cfg.ranks_per_node = 0;
+  EXPECT_TRUE(Domain(cfg).same_node(0, 5));
+  cfg.ranks_per_node = 2;
+  Domain dom(cfg);
+  EXPECT_EQ(dom.node_of(0), 0);
+  EXPECT_EQ(dom.node_of(1), 0);
+  EXPECT_EQ(dom.node_of(2), 1);
+  EXPECT_EQ(dom.node_of(5), 2);
+  EXPECT_THROW(dom.nic(6), Error);
+  EXPECT_THROW(dom.nic(-1), Error);
+}
+
+TEST(Nic, RangeViolationRaises) {
+  Domain dom(two_rank_internode());
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  std::uint64_t v = 0;
+  EXPECT_THROW(dom.nic(0).put(1, d, 60, &v, 8), Error);
+  EXPECT_THROW(dom.nic(0).put(0, d, 0, &v, 8), Error);  // wrong owner
+}
+
+TEST(Nic, InjectionModelAddsLatency) {
+  DomainConfig cfg = two_rank_internode();
+  cfg.inject = Injection::model;
+  cfg.time_scale = 1.0;
+  Domain dom(cfg);
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  Nic& nic = dom.nic(0);
+  const std::uint64_t v = 1;
+  Timer t;
+  for (int i = 0; i < 100; ++i) nic.put(1, d, 0, &v, 8);
+  const double per_op_us = t.elapsed_us() / 100.0;
+  // Modeled small-put latency is ~1us end to end.
+  EXPECT_GT(per_op_us, 0.8);
+}
+
+TEST(Nic, IntraNodeFasterThanInterNodeUnderModel) {
+  DomainConfig cfg;
+  cfg.nranks = 4;
+  cfg.ranks_per_node = 2;  // ranks 0,1 on node 0; 2,3 on node 1
+  cfg.inject = Injection::model;
+  Domain dom(cfg);
+  EXPECT_TRUE(dom.same_node(0, 1));
+  EXPECT_FALSE(dom.same_node(1, 2));
+  AlignedBuffer mem1(64), mem2(64);
+  const RegionDesc d1 = dom.registry().register_region(1, mem1.data(), 64);
+  const RegionDesc d2 = dom.registry().register_region(2, mem2.data(), 64);
+  Nic& nic = dom.nic(0);
+  const std::uint64_t v = 1;
+  Timer ti;
+  for (int i = 0; i < 50; ++i) nic.put(1, d1, 0, &v, 8);
+  const double intra = ti.elapsed_us();
+  Timer te;
+  for (int i = 0; i < 50; ++i) nic.put(2, d2, 0, &v, 8);
+  const double inter = te.elapsed_us();
+  EXPECT_LT(intra, inter);
+}

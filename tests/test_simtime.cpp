@@ -1,0 +1,176 @@
+// Discrete-event engine and the scaling simulations: determinism, event
+// ordering, and the shape properties the paper's figures rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simtime/des.hpp"
+#include "simtime/sim_apps.hpp"
+#include "simtime/sim_dsde.hpp"
+#include "simtime/sim_sync.hpp"
+
+using namespace fompi;
+using namespace fompi::sim;
+
+TEST(Des, EventsRunInTimeOrder) {
+  Sim sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] {
+    order.push_back(2);
+    sim.after(0.5, [&] { order.push_back(25); });
+  });
+  const double end = sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 25, 3}));
+  EXPECT_DOUBLE_EQ(end, 3.0);
+  EXPECT_EQ(sim.events_processed(), 4u);
+}
+
+TEST(Des, FifoTieBreakAtEqualTimes) {
+  Sim sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Des, SchedulingIntoThePastRejected) {
+  Sim sim;
+  sim.at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(1.0, [] {}), Error);
+}
+
+TEST(Des, NoiseSamplesAreNonNegativeAndSparse) {
+  Noise n{0.1, 20.0};
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = n.sample(rng);
+    EXPECT_GE(v, 0.0);
+    if (v > 0) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.1, 0.02);
+  Noise off{};
+  EXPECT_DOUBLE_EQ(off.sample(rng), 0.0);
+}
+
+TEST(SimBarrier, MatchesLogPScaling) {
+  SyncParams sp;
+  sp.msg_latency_us = 2.484;  // round cost = 2.9us with the 416ns overhead
+  sp.per_msg_overhead_us = 0.416;
+  double prev = 0;
+  for (int p : {2, 8, 64, 1024, 8192}) {
+    const double t = simulate_dissemination_barrier(p, sp);
+    const double rounds = std::ceil(std::log2(p));
+    EXPECT_NEAR(t, 2.9 * rounds, 0.5) << "p=" << p;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  EXPECT_DOUBLE_EQ(simulate_dissemination_barrier(1, sp), 0.0);
+}
+
+TEST(SimBarrier, Deterministic) {
+  SyncParams sp;
+  sp.seed = 17;
+  sp.noise = Noise{0.05, 30.0};
+  const double a = simulate_dissemination_barrier(512, sp);
+  const double b = simulate_dissemination_barrier(512, sp);
+  EXPECT_DOUBLE_EQ(a, b);
+  sp.seed = 18;
+  EXPECT_NE(a, simulate_dissemination_barrier(512, sp));
+}
+
+TEST(SimPscw, NearlyConstantInP) {
+  // Fig 6c: an ideal PSCW ring is O(1) in the process count.
+  SyncParams sp;
+  const double t64 = simulate_pscw_ring(64, sp);
+  const double t64k = simulate_pscw_ring(65536, sp);
+  EXPECT_GT(t64, 0.0);
+  EXPECT_LT(t64k, t64 * 1.5) << "PSCW ring must not grow with p";
+}
+
+TEST(SimPscw, CrayComparatorGrowsWithP) {
+  const auto s1 = simulate_pscw_all(64, 42);
+  const auto s2 = simulate_pscw_all(65536, 42);
+  EXPECT_LT(s1.fompi_us, s1.craympi_us);
+  EXPECT_GT(s2.craympi_us / s2.fompi_us, 10.0)
+      << "the gap must widen with p (Fig 6c)";
+}
+
+TEST(SimFence, OrderingOfTransportsMatchesFig6b) {
+  for (int p : {64, 1024, 8192}) {
+    const auto s = simulate_fence_all(p, 42);
+    EXPECT_LT(s.upc_us, s.fompi_us * 1.2) << "UPC barrier is fastest/close";
+    EXPECT_GT(s.caf_us, s.fompi_us) << "CAF sync_all is slowest (Fig 6b)";
+    EXPECT_GT(s.craympi_us, s.fompi_us);
+  }
+}
+
+TEST(SimDsde, RmaWinsAndAlltoallLosesAtScale) {
+  const auto s = simulate_dsde(8192);
+  EXPECT_LT(s.fompi_rma_us, s.nbx_us * 1.1)
+      << "RMA must be competitive with NBX (Fig 7b)";
+  EXPECT_LT(s.nbx_us, s.reduce_scatter_us);
+  EXPECT_LT(s.reduce_scatter_us, s.alltoall_us);
+  EXPECT_LT(s.fompi_rma_us, s.mpi22_rma_us);
+  // The improvement over dense protocols spans orders of magnitude.
+  EXPECT_GT(s.alltoall_us / s.fompi_rma_us, 50.0);
+}
+
+TEST(SimDsde, SmallScaleStillOrdersRmaFirst) {
+  const auto s = simulate_dsde(8);
+  EXPECT_LT(s.fompi_rma_us, s.mpi22_rma_us);
+  EXPECT_GT(s.alltoall_us, 0.0);
+}
+
+TEST(SimHashtable, ShapesMatchFig7a) {
+  // Intra-node: everything is fast and close together.
+  const auto intra = simulate_hashtable(2);
+  EXPECT_GT(intra.fompi_ginserts, intra.mpi1_ginserts * 0.5);
+  // At scale: foMPI ~ UPC, both orders of magnitude above MPI-1.
+  const auto large = simulate_hashtable(32768);
+  EXPECT_NEAR(large.upc_ginserts / large.fompi_ginserts, 1.0, 0.2);
+  EXPECT_GT(large.fompi_ginserts / large.mpi1_ginserts, 20.0);
+  // The paper's headline: MPI-1 at 32k cores stays below the single-node
+  // insert rate of the RMA version.
+  const auto node = simulate_hashtable(32);
+  EXPECT_LT(large.mpi1_ginserts, node.fompi_ginserts * 2.0);
+  // RMA throughput grows with p.
+  EXPECT_GT(large.fompi_ginserts, intra.fompi_ginserts * 100);
+}
+
+TEST(SimFft, OverlapGivesFoMpiTheLead) {
+  for (int p : {1024, 4096, 16384, 65536}) {
+    const auto s = simulate_fft(p);
+    EXPECT_GT(s.fompi_gflops, s.mpi1_gflops) << "p=" << p;
+    EXPECT_GE(s.fompi_gflops, s.upc_gflops) << "p=" << p;
+  }
+  // The gap widens as communication dominates (Fig 7c annotations grow
+  // from ~18% at 1k to ~100% at 64k).
+  const auto s1 = simulate_fft(1024);
+  const auto s64 = simulate_fft(65536);
+  const double gain1 = s1.fompi_gflops / s1.mpi1_gflops;
+  const double gain64 = s64.fompi_gflops / s64.mpi1_gflops;
+  EXPECT_GT(gain64, gain1);
+  EXPECT_GT(gain64, 1.5);  // ~2x at 64k in the paper
+  EXPECT_LT(gain1, 1.6);
+}
+
+TEST(SimMilc, WeakScalingImprovementInPaperBand) {
+  // Fig 8: foMPI/UPC improve the full application by roughly 5-15%,
+  // growing with scale; UPC and foMPI are nearly identical.
+  for (int p : {4096, 65536, 524288}) {
+    const auto s = simulate_milc(p);
+    const double gain = (s.mpi1_s - s.fompi_s) / s.mpi1_s;
+    EXPECT_GT(gain, 0.04) << "p=" << p;
+    EXPECT_LT(gain, 0.25) << "p=" << p;
+    EXPECT_NEAR(s.upc_s / s.fompi_s, 1.0, 0.05);
+  }
+  const auto small = simulate_milc(4096);
+  const auto large = simulate_milc(524288);
+  EXPECT_GT(large.mpi1_s, small.mpi1_s);  // noise + allreduce grow
+}

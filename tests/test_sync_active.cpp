@@ -1,0 +1,281 @@
+// Active target synchronization: fence epochs and the PSCW matching
+// protocol (Fig 2), including epoch-misuse detection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/timing.hpp"
+#include "core/window.hpp"
+
+using namespace fompi;
+using core::Win;
+using fabric::Group;
+using fabric::RankCtx;
+
+TEST(Fence, OrdersPutsAcrossEpochs) {
+  fabric::run_ranks(4, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    auto* mine = static_cast<std::uint64_t*>(win.base());
+    for (int round = 0; round < 10; ++round) {
+      win.fence();
+      const std::uint64_t v =
+          static_cast<std::uint64_t>(round * 100 + ctx.rank());
+      win.put(&v, 8, (ctx.rank() + 1) % 4, 0);
+      win.fence();
+      const int left = (ctx.rank() + 3) % 4;
+      EXPECT_EQ(mine[0], static_cast<std::uint64_t>(round * 100 + left));
+    }
+    win.free();
+  });
+}
+
+TEST(Fence, WorksUnderDeferredShuffledDelivery) {
+  fabric::FabricOptions opts;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.delivery = rdma::Delivery::deferred;
+  opts.domain.shuffle_deferred = true;
+  fabric::run_ranks(3, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 256);
+    auto* mine = static_cast<std::uint64_t*>(win.base());
+    win.fence();
+    // Several puts to several targets, committed in shuffled order.
+    for (int t = 0; t < 3; ++t) {
+      for (int i = 0; i < 4; ++i) {
+        const std::uint64_t v =
+            static_cast<std::uint64_t>(ctx.rank() * 100 + i);
+        win.put(&v, 8, t, 8 * (static_cast<std::size_t>(ctx.rank()) * 4 +
+                               static_cast<std::size_t>(i)));
+      }
+    }
+    win.fence();
+    for (int r = 0; r < 3; ++r) {
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(mine[r * 4 + i], static_cast<std::uint64_t>(r * 100 + i));
+      }
+    }
+    win.free();
+  }, opts);
+}
+
+TEST(Pscw, PairExchange) {
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    const int peer = 1 - ctx.rank();
+    auto* mine = static_cast<std::uint64_t*>(win.base());
+    mine[0] = 0;
+    ctx.barrier();
+    win.post(Group{peer});
+    win.start(Group{peer});
+    const std::uint64_t v = static_cast<std::uint64_t>(ctx.rank()) + 40;
+    win.put(&v, 8, peer, 0);
+    win.complete();
+    win.wait();
+    EXPECT_EQ(mine[0], static_cast<std::uint64_t>(peer) + 40);
+    win.free();
+  });
+}
+
+TEST(Pscw, RingNeighborsMatchPaperScenario) {
+  // The Fig 6c benchmark topology: each rank exposes to its two ring
+  // neighbors and accesses both.
+  const int p = 6;
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 8 * static_cast<std::size_t>(p));
+    const int left = (ctx.rank() + p - 1) % p;
+    const int right = (ctx.rank() + 1) % p;
+    auto* mine = static_cast<std::uint64_t*>(win.base());
+    for (int round = 0; round < 5; ++round) {
+      win.post(Group{left, right});
+      win.start(Group{left, right});
+      const std::uint64_t v =
+          static_cast<std::uint64_t>(round * 1000 + ctx.rank());
+      win.put(&v, 8, left, 8 * static_cast<std::size_t>(ctx.rank()));
+      win.put(&v, 8, right, 8 * static_cast<std::size_t>(ctx.rank()));
+      win.complete();
+      win.wait();
+      EXPECT_EQ(mine[left], static_cast<std::uint64_t>(round * 1000 + left));
+      EXPECT_EQ(mine[right],
+                static_cast<std::uint64_t>(round * 1000 + right));
+    }
+    win.free();
+  });
+}
+
+TEST(Pscw, TwoDistinctMatchesLikeFig2) {
+  // The paper's Fig 2a program: process 0 accesses {1,2} in one epoch and
+  // {3} in the next; the posts must match the right starts.
+  fabric::run_ranks(4, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    auto* mine = static_cast<std::uint64_t*>(win.base());
+    if (ctx.rank() == 0) {
+      win.start(Group{1, 2});
+      const std::uint64_t a = 11;
+      win.put(&a, 8, 1, 0);
+      win.put(&a, 8, 2, 0);
+      win.complete();
+      win.start(Group{3});
+      const std::uint64_t b = 22;
+      win.put(&b, 8, 3, 0);
+      win.complete();
+    } else {
+      win.post(Group{0});
+      win.wait();
+      if (ctx.rank() == 3) {
+        EXPECT_EQ(mine[0], 22u);
+      } else {
+        EXPECT_EQ(mine[0], 11u);
+      }
+    }
+    win.free();
+  });
+}
+
+TEST(Pscw, StartBlocksUntilPost) {
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    if (ctx.rank() == 0) {
+      // Delay the post; rank 1's start must wait for it, so the flag is
+      // always set by the time start returns.
+      std::atomic_ref<std::uint64_t> flag(
+          *static_cast<std::uint64_t*>(win.base()));
+      spin_for_ns(5'000'000);
+      flag.store(77, std::memory_order_release);
+      win.post(Group{1});
+      win.wait();
+    } else {
+      win.start(Group{0});
+      std::uint64_t v = 0;
+      win.get(&v, 8, 0, 0);
+      win.complete();
+      EXPECT_EQ(v, 77u);
+    }
+    win.free();
+  });
+}
+
+TEST(Pscw, WaitBlocksUntilComplete) {
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    if (ctx.rank() == 0) {
+      win.post(Group{1});
+      win.wait();  // returns only after rank 1 completed
+      auto* mine = static_cast<std::uint64_t*>(win.base());
+      EXPECT_EQ(mine[0], 123u);
+    } else {
+      win.start(Group{0});
+      const std::uint64_t v = 123;
+      win.put(&v, 8, 0, 0);
+      spin_for_ns(2'000'000);  // widen the race window
+      win.complete();
+    }
+    win.free();
+  });
+}
+
+TEST(Pscw, TestVariantPolls) {
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    if (ctx.rank() == 0) {
+      win.post(Group{1});
+      int polls = 0;
+      while (!win.test()) {
+        ++polls;
+        ctx.yield_check();
+      }
+      (void)polls;
+    } else {
+      win.start(Group{0});
+      const std::uint64_t v = 1;
+      win.put(&v, 8, 0, 0);
+      win.complete();
+    }
+    win.free();
+  });
+}
+
+TEST(Pscw, AccessAndExposureEpochsCoexist) {
+  // A rank can simultaneously expose to one peer and access another.
+  fabric::run_ranks(3, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    const int next = (ctx.rank() + 1) % 3;
+    const int prev = (ctx.rank() + 2) % 3;
+    win.post(Group{prev});   // prev will write to me
+    win.start(Group{next});  // I write to next
+    const std::uint64_t v = static_cast<std::uint64_t>(ctx.rank()) * 7 + 1;
+    win.put(&v, 8, next, 0);
+    win.complete();
+    win.wait();
+    auto* mine = static_cast<std::uint64_t*>(win.base());
+    EXPECT_EQ(mine[0], static_cast<std::uint64_t>(prev) * 7 + 1);
+    win.free();
+  });
+}
+
+TEST(Pscw, MisuseDetected) {
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    EXPECT_THROW(win.complete(), Error);  // no start
+    EXPECT_THROW(win.wait(), Error);      // no post
+    EXPECT_THROW(win.test(), Error);
+    if (ctx.rank() == 0) {
+      win.post(Group{1});
+      EXPECT_THROW(win.post(Group{1}), Error);  // nested exposure epoch
+    } else {
+      win.start(Group{0});
+      const std::uint64_t v = 9;
+      win.put(&v, 8, 0, 0);
+      EXPECT_THROW(win.start(Group{0}), Error);  // nested access epoch
+      win.complete();
+    }
+    if (ctx.rank() == 0) win.wait();
+    win.free();
+  });
+}
+
+TEST(Pscw, RepeatedPostsFromSameTargetQueue) {
+  // Two exposure epochs posted back-to-back must match two successive
+  // starts in order.
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    auto* mine = static_cast<std::uint64_t*>(win.base());
+    if (ctx.rank() == 0) {
+      win.post(Group{1});
+      win.wait();
+      const std::uint64_t first = mine[0];
+      win.post(Group{1});
+      win.wait();
+      EXPECT_EQ(first, 1u);
+      EXPECT_EQ(mine[0], 2u);
+    } else {
+      for (std::uint64_t round = 1; round <= 2; ++round) {
+        win.start(Group{0});
+        win.put(&round, 8, 0, 0);
+        win.complete();
+      }
+    }
+    win.free();
+  });
+}
+
+TEST(Pscw, WorksUnderDeferredDelivery) {
+  fabric::FabricOptions opts;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.delivery = rdma::Delivery::deferred;
+  opts.domain.shuffle_deferred = true;
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 64);
+    const int peer = 1 - ctx.rank();
+    win.post(Group{peer});
+    win.start(Group{peer});
+    std::array<std::uint64_t, 4> v;
+    v.fill(static_cast<std::uint64_t>(ctx.rank()) + 5);
+    win.put(v.data(), 32, peer, 0);
+    win.complete();
+    win.wait();
+    auto* mine = static_cast<std::uint64_t*>(win.base());
+    EXPECT_EQ(mine[0], static_cast<std::uint64_t>(peer) + 5);
+    EXPECT_EQ(mine[3], static_cast<std::uint64_t>(peer) + 5);
+    win.free();
+  }, opts);
+}
