@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dynamic"
+  "../bench/bench_ablation_dynamic.pdb"
+  "CMakeFiles/bench_ablation_dynamic.dir/bench_ablation_dynamic.cpp.o"
+  "CMakeFiles/bench_ablation_dynamic.dir/bench_ablation_dynamic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_notify"
+  "../bench/bench_ablation_notify.pdb"
+  "CMakeFiles/bench_ablation_notify.dir/bench_ablation_notify.cpp.o"
+  "CMakeFiles/bench_ablation_notify.dir/bench_ablation_notify.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_windows"
+  "../bench/bench_ablation_windows.pdb"
+  "CMakeFiles/bench_ablation_windows.dir/bench_ablation_windows.cpp.o"
+  "CMakeFiles/bench_ablation_windows.dir/bench_ablation_windows.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_msgrate"
+  "../bench/bench_fig5_msgrate.pdb"
+  "CMakeFiles/bench_fig5_msgrate.dir/bench_fig5_msgrate.cpp.o"
+  "CMakeFiles/bench_fig5_msgrate.dir/bench_fig5_msgrate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_msgrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6b_fence"
+  "../bench/bench_fig6b_fence.pdb"
+  "CMakeFiles/bench_fig6b_fence.dir/bench_fig6b_fence.cpp.o"
+  "CMakeFiles/bench_fig6b_fence.dir/bench_fig6b_fence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

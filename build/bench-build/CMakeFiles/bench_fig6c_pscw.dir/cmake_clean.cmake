@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6c_pscw"
+  "../bench/bench_fig6c_pscw.pdb"
+  "CMakeFiles/bench_fig6c_pscw.dir/bench_fig6c_pscw.cpp.o"
+  "CMakeFiles/bench_fig6c_pscw.dir/bench_fig6c_pscw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_pscw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

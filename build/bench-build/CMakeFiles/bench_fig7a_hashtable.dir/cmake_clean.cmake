@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7a_hashtable"
+  "../bench/bench_fig7a_hashtable.pdb"
+  "CMakeFiles/bench_fig7a_hashtable.dir/bench_fig7a_hashtable.cpp.o"
+  "CMakeFiles/bench_fig7a_hashtable.dir/bench_fig7a_hashtable.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

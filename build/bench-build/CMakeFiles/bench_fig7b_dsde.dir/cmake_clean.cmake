@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7b_dsde"
+  "../bench/bench_fig7b_dsde.pdb"
+  "CMakeFiles/bench_fig7b_dsde.dir/bench_fig7b_dsde.cpp.o"
+  "CMakeFiles/bench_fig7b_dsde.dir/bench_fig7b_dsde.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_dsde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

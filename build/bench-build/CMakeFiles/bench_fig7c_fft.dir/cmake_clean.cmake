@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7c_fft"
+  "../bench/bench_fig7c_fft.pdb"
+  "CMakeFiles/bench_fig7c_fft.dir/bench_fig7c_fft.cpp.o"
+  "CMakeFiles/bench_fig7c_fft.dir/bench_fig7c_fft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7c_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

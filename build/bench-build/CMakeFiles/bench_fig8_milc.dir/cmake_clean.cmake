@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_milc"
+  "../bench/bench_fig8_milc.pdb"
+  "CMakeFiles/bench_fig8_milc.dir/bench_fig8_milc.cpp.o"
+  "CMakeFiles/bench_fig8_milc.dir/bench_fig8_milc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_milc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_instr"
+  "../bench/bench_instr.pdb"
+  "CMakeFiles/bench_instr.dir/bench_instr.cpp.o"
+  "CMakeFiles/bench_instr.dir/bench_instr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

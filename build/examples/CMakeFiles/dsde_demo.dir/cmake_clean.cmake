@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsde_demo.dir/dsde_demo.cpp.o"
+  "CMakeFiles/dsde_demo.dir/dsde_demo.cpp.o.d"
+  "dsde_demo"
+  "dsde_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsde_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

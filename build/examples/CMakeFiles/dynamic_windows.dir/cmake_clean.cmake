@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_windows.dir/dynamic_windows.cpp.o"
+  "CMakeFiles/dynamic_windows.dir/dynamic_windows.cpp.o.d"
+  "dynamic_windows"
+  "dynamic_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

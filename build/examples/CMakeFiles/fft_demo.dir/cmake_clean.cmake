@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_demo.dir/fft_demo.cpp.o"
+  "CMakeFiles/fft_demo.dir/fft_demo.cpp.o.d"
+  "fft_demo"
+  "fft_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashtable_demo.dir/hashtable_demo.cpp.o"
+  "CMakeFiles/hashtable_demo.dir/hashtable_demo.cpp.o.d"
+  "hashtable_demo"
+  "hashtable_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashtable_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

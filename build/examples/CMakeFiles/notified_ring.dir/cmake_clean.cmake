@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notified_ring.dir/notified_ring.cpp.o"
+  "CMakeFiles/notified_ring.dir/notified_ring.cpp.o.d"
+  "notified_ring"
+  "notified_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notified_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dsde.cpp" "src/apps/CMakeFiles/fompi_apps.dir/dsde.cpp.o" "gcc" "src/apps/CMakeFiles/fompi_apps.dir/dsde.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/fompi_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/fompi_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/hashtable.cpp" "src/apps/CMakeFiles/fompi_apps.dir/hashtable.cpp.o" "gcc" "src/apps/CMakeFiles/fompi_apps.dir/hashtable.cpp.o.d"
+  "/root/repo/src/apps/milc.cpp" "src/apps/CMakeFiles/fompi_apps.dir/milc.cpp.o" "gcc" "src/apps/CMakeFiles/fompi_apps.dir/milc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fompi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fompi_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/fompi_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/fompi_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/datatype/CMakeFiles/fompi_datatype.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/fompi_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

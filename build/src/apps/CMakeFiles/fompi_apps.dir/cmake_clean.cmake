@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fompi_apps.dir/dsde.cpp.o"
+  "CMakeFiles/fompi_apps.dir/dsde.cpp.o.d"
+  "CMakeFiles/fompi_apps.dir/fft.cpp.o"
+  "CMakeFiles/fompi_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/fompi_apps.dir/hashtable.cpp.o"
+  "CMakeFiles/fompi_apps.dir/hashtable.cpp.o.d"
+  "CMakeFiles/fompi_apps.dir/milc.cpp.o"
+  "CMakeFiles/fompi_apps.dir/milc.cpp.o.d"
+  "libfompi_apps.a"
+  "libfompi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fompi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fompi_baselines.dir/mpi22_rma.cpp.o"
+  "CMakeFiles/fompi_baselines.dir/mpi22_rma.cpp.o.d"
+  "CMakeFiles/fompi_baselines.dir/pgas.cpp.o"
+  "CMakeFiles/fompi_baselines.dir/pgas.cpp.o.d"
+  "libfompi_baselines.a"
+  "libfompi_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fompi_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

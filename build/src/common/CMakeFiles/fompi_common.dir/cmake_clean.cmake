@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fompi_common.dir/error.cpp.o"
+  "CMakeFiles/fompi_common.dir/error.cpp.o.d"
+  "CMakeFiles/fompi_common.dir/instr.cpp.o"
+  "CMakeFiles/fompi_common.dir/instr.cpp.o.d"
+  "CMakeFiles/fompi_common.dir/timing.cpp.o"
+  "CMakeFiles/fompi_common.dir/timing.cpp.o.d"
+  "libfompi_common.a"
+  "libfompi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fompi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accumulate.cpp" "src/core/CMakeFiles/fompi_core.dir/accumulate.cpp.o" "gcc" "src/core/CMakeFiles/fompi_core.dir/accumulate.cpp.o.d"
+  "/root/repo/src/core/comm.cpp" "src/core/CMakeFiles/fompi_core.dir/comm.cpp.o" "gcc" "src/core/CMakeFiles/fompi_core.dir/comm.cpp.o.d"
+  "/root/repo/src/core/dynamic.cpp" "src/core/CMakeFiles/fompi_core.dir/dynamic.cpp.o" "gcc" "src/core/CMakeFiles/fompi_core.dir/dynamic.cpp.o.d"
+  "/root/repo/src/core/fence.cpp" "src/core/CMakeFiles/fompi_core.dir/fence.cpp.o" "gcc" "src/core/CMakeFiles/fompi_core.dir/fence.cpp.o.d"
+  "/root/repo/src/core/lock.cpp" "src/core/CMakeFiles/fompi_core.dir/lock.cpp.o" "gcc" "src/core/CMakeFiles/fompi_core.dir/lock.cpp.o.d"
+  "/root/repo/src/core/mcs_lock.cpp" "src/core/CMakeFiles/fompi_core.dir/mcs_lock.cpp.o" "gcc" "src/core/CMakeFiles/fompi_core.dir/mcs_lock.cpp.o.d"
+  "/root/repo/src/core/notify.cpp" "src/core/CMakeFiles/fompi_core.dir/notify.cpp.o" "gcc" "src/core/CMakeFiles/fompi_core.dir/notify.cpp.o.d"
+  "/root/repo/src/core/ops.cpp" "src/core/CMakeFiles/fompi_core.dir/ops.cpp.o" "gcc" "src/core/CMakeFiles/fompi_core.dir/ops.cpp.o.d"
+  "/root/repo/src/core/pscw.cpp" "src/core/CMakeFiles/fompi_core.dir/pscw.cpp.o" "gcc" "src/core/CMakeFiles/fompi_core.dir/pscw.cpp.o.d"
+  "/root/repo/src/core/sym_heap.cpp" "src/core/CMakeFiles/fompi_core.dir/sym_heap.cpp.o" "gcc" "src/core/CMakeFiles/fompi_core.dir/sym_heap.cpp.o.d"
+  "/root/repo/src/core/window.cpp" "src/core/CMakeFiles/fompi_core.dir/window.cpp.o" "gcc" "src/core/CMakeFiles/fompi_core.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/fompi_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/datatype/CMakeFiles/fompi_datatype.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/fompi_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

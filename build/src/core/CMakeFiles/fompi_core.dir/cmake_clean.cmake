@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fompi_core.dir/accumulate.cpp.o"
+  "CMakeFiles/fompi_core.dir/accumulate.cpp.o.d"
+  "CMakeFiles/fompi_core.dir/comm.cpp.o"
+  "CMakeFiles/fompi_core.dir/comm.cpp.o.d"
+  "CMakeFiles/fompi_core.dir/dynamic.cpp.o"
+  "CMakeFiles/fompi_core.dir/dynamic.cpp.o.d"
+  "CMakeFiles/fompi_core.dir/fence.cpp.o"
+  "CMakeFiles/fompi_core.dir/fence.cpp.o.d"
+  "CMakeFiles/fompi_core.dir/lock.cpp.o"
+  "CMakeFiles/fompi_core.dir/lock.cpp.o.d"
+  "CMakeFiles/fompi_core.dir/mcs_lock.cpp.o"
+  "CMakeFiles/fompi_core.dir/mcs_lock.cpp.o.d"
+  "CMakeFiles/fompi_core.dir/notify.cpp.o"
+  "CMakeFiles/fompi_core.dir/notify.cpp.o.d"
+  "CMakeFiles/fompi_core.dir/ops.cpp.o"
+  "CMakeFiles/fompi_core.dir/ops.cpp.o.d"
+  "CMakeFiles/fompi_core.dir/pscw.cpp.o"
+  "CMakeFiles/fompi_core.dir/pscw.cpp.o.d"
+  "CMakeFiles/fompi_core.dir/sym_heap.cpp.o"
+  "CMakeFiles/fompi_core.dir/sym_heap.cpp.o.d"
+  "CMakeFiles/fompi_core.dir/window.cpp.o"
+  "CMakeFiles/fompi_core.dir/window.cpp.o.d"
+  "libfompi_core.a"
+  "libfompi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fompi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

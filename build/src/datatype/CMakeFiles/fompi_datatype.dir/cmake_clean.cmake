@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fompi_datatype.dir/datatype.cpp.o"
+  "CMakeFiles/fompi_datatype.dir/datatype.cpp.o.d"
+  "libfompi_datatype.a"
+  "libfompi_datatype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fompi_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

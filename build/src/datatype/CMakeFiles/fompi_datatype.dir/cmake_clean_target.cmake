@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfompi_datatype.a"
+)

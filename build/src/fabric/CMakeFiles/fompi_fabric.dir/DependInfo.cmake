@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/collectives.cpp" "src/fabric/CMakeFiles/fompi_fabric.dir/collectives.cpp.o" "gcc" "src/fabric/CMakeFiles/fompi_fabric.dir/collectives.cpp.o.d"
+  "/root/repo/src/fabric/fabric.cpp" "src/fabric/CMakeFiles/fompi_fabric.dir/fabric.cpp.o" "gcc" "src/fabric/CMakeFiles/fompi_fabric.dir/fabric.cpp.o.d"
+  "/root/repo/src/fabric/p2p.cpp" "src/fabric/CMakeFiles/fompi_fabric.dir/p2p.cpp.o" "gcc" "src/fabric/CMakeFiles/fompi_fabric.dir/p2p.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdma/CMakeFiles/fompi_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fompi_fabric.dir/collectives.cpp.o"
+  "CMakeFiles/fompi_fabric.dir/collectives.cpp.o.d"
+  "CMakeFiles/fompi_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/fompi_fabric.dir/fabric.cpp.o.d"
+  "CMakeFiles/fompi_fabric.dir/p2p.cpp.o"
+  "CMakeFiles/fompi_fabric.dir/p2p.cpp.o.d"
+  "libfompi_fabric.a"
+  "libfompi_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fompi_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fompi_perfmodel.dir/fit.cpp.o"
+  "CMakeFiles/fompi_perfmodel.dir/fit.cpp.o.d"
+  "libfompi_perfmodel.a"
+  "libfompi_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fompi_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/amo.cpp" "src/rdma/CMakeFiles/fompi_rdma.dir/amo.cpp.o" "gcc" "src/rdma/CMakeFiles/fompi_rdma.dir/amo.cpp.o.d"
+  "/root/repo/src/rdma/nic.cpp" "src/rdma/CMakeFiles/fompi_rdma.dir/nic.cpp.o" "gcc" "src/rdma/CMakeFiles/fompi_rdma.dir/nic.cpp.o.d"
+  "/root/repo/src/rdma/region.cpp" "src/rdma/CMakeFiles/fompi_rdma.dir/region.cpp.o" "gcc" "src/rdma/CMakeFiles/fompi_rdma.dir/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fompi_rdma.dir/amo.cpp.o"
+  "CMakeFiles/fompi_rdma.dir/amo.cpp.o.d"
+  "CMakeFiles/fompi_rdma.dir/nic.cpp.o"
+  "CMakeFiles/fompi_rdma.dir/nic.cpp.o.d"
+  "CMakeFiles/fompi_rdma.dir/region.cpp.o"
+  "CMakeFiles/fompi_rdma.dir/region.cpp.o.d"
+  "libfompi_rdma.a"
+  "libfompi_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fompi_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simtime/sim_apps.cpp" "src/simtime/CMakeFiles/fompi_simtime.dir/sim_apps.cpp.o" "gcc" "src/simtime/CMakeFiles/fompi_simtime.dir/sim_apps.cpp.o.d"
+  "/root/repo/src/simtime/sim_dsde.cpp" "src/simtime/CMakeFiles/fompi_simtime.dir/sim_dsde.cpp.o" "gcc" "src/simtime/CMakeFiles/fompi_simtime.dir/sim_dsde.cpp.o.d"
+  "/root/repo/src/simtime/sim_sync.cpp" "src/simtime/CMakeFiles/fompi_simtime.dir/sim_sync.cpp.o" "gcc" "src/simtime/CMakeFiles/fompi_simtime.dir/sim_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perfmodel/CMakeFiles/fompi_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

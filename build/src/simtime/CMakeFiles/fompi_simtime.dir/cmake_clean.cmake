@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fompi_simtime.dir/sim_apps.cpp.o"
+  "CMakeFiles/fompi_simtime.dir/sim_apps.cpp.o.d"
+  "CMakeFiles/fompi_simtime.dir/sim_dsde.cpp.o"
+  "CMakeFiles/fompi_simtime.dir/sim_dsde.cpp.o.d"
+  "CMakeFiles/fompi_simtime.dir/sim_sync.cpp.o"
+  "CMakeFiles/fompi_simtime.dir/sim_sync.cpp.o.d"
+  "libfompi_simtime.a"
+  "libfompi_simtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fompi_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

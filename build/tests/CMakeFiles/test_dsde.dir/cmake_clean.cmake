@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsde.dir/test_dsde.cpp.o"
+  "CMakeFiles/test_dsde.dir/test_dsde.cpp.o.d"
+  "test_dsde"
+  "test_dsde.pdb"
+  "test_dsde[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

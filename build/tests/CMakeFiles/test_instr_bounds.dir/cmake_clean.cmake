@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instr_bounds.dir/test_instr_bounds.cpp.o"
+  "CMakeFiles/test_instr_bounds.dir/test_instr_bounds.cpp.o.d"
+  "test_instr_bounds"
+  "test_instr_bounds.pdb"
+  "test_instr_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instr_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

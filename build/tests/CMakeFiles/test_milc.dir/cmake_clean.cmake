@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milc.dir/test_milc.cpp.o"
+  "CMakeFiles/test_milc.dir/test_milc.cpp.o.d"
+  "test_milc"
+  "test_milc.pdb"
+  "test_milc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

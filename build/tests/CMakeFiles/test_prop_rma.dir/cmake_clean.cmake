@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prop_rma.dir/test_prop_rma.cpp.o"
+  "CMakeFiles/test_prop_rma.dir/test_prop_rma.cpp.o.d"
+  "test_prop_rma"
+  "test_prop_rma.pdb"
+  "test_prop_rma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prop_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_active.dir/test_sync_active.cpp.o"
+  "CMakeFiles/test_sync_active.dir/test_sync_active.cpp.o.d"
+  "test_sync_active"
+  "test_sync_active.pdb"
+  "test_sync_active[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

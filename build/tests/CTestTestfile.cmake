@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_rdma[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_p2p[1]_include.cmake")
+include("/root/repo/build/tests/test_datatype[1]_include.cmake")
+include("/root/repo/build/tests/test_window[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_active[1]_include.cmake")
+include("/root/repo/build/tests/test_lock[1]_include.cmake")
+include("/root/repo/build/tests/test_accumulate[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic[1]_include.cmake")
+include("/root/repo/build/tests/test_mcs[1]_include.cmake")
+include("/root/repo/build/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_simtime[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_hashtable[1]_include.cmake")
+include("/root/repo/build/tests/test_dsde[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_milc[1]_include.cmake")
+include("/root/repo/build/tests/test_prop_rma[1]_include.cmake")
+include("/root/repo/build/tests/test_instr_bounds[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
