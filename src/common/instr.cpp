@@ -14,6 +14,9 @@ const char* to_string(Op op) noexcept {
     case Op::validation_check: return "validation_check";
     case Op::bytes_copied:     return "bytes_copied";
     case Op::retry:            return "retry";
+    case Op::rkey_cache_hit:   return "rkey_cache_hit";
+    case Op::rkey_cache_miss:  return "rkey_cache_miss";
+    case Op::pool_grow:        return "pool_grow";
     case Op::kCount:           break;
   }
   return "unknown";

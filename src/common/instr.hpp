@@ -25,6 +25,9 @@ enum class Op : std::uint32_t {
   validation_check,  ///< one argument/epoch validation check
   bytes_copied,      ///< payload bytes moved (counted in bytes)
   retry,             ///< one back-off retry (lock/alloc protocols)
+  rkey_cache_hit,    ///< rkey resolved from the NIC cache (no registry lock)
+  rkey_cache_miss,   ///< rkey resolve took the registry's shared lock
+  pool_grow,         ///< NIC completion/staging pool grew (heap allocation)
   kCount,
 };
 

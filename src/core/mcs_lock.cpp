@@ -38,11 +38,12 @@ void McsLock::acquire() {
                     disp_ + kNext);
   ++last_ops_;
 
-  // Spin on our own flag — purely local memory, zero remote traffic.
+  // Spin on our own flag — purely local memory, zero remote traffic. The
+  // yield_check propagates a peer failure instead of spinning forever on a
+  // flag nobody will ever clear.
   auto flag = local_word(win_, disp_ + kLocked);
   while (flag.load(std::memory_order_acquire) != 0) {
-    win_.rank();  // cheap; the real politeness is the yield below
-    std::this_thread::yield();
+    win_.yield_check();
   }
 }
 
@@ -58,7 +59,7 @@ void McsLock::release() {
     if (prev == mine) return;  // nobody queued behind us
     // A successor is in the middle of linking: wait for the pointer.
     while (next.load(std::memory_order_acquire) == 0) {
-      std::this_thread::yield();
+      win_.yield_check();
     }
   }
   const int succ =

@@ -78,7 +78,7 @@ void NotifyWin::wait_notify(int id, std::uint64_t count) {
       static_cast<std::byte*>(win_.base()) + notify_off(id));
   std::atomic_ref<std::uint64_t> counter(*word);
   while (counter.load(std::memory_order_acquire) < count) {
-    std::this_thread::yield();
+    win_.yield_check();
   }
   counter.fetch_sub(count, std::memory_order_acq_rel);
   win_.sync();  // notified data readable after the fence

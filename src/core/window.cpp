@@ -63,6 +63,8 @@ void* Win::shared_query(int target) const {
 
 int Win::alloc_attempts() const { return sh().alloc_attempts; }
 
+void Win::yield_check() const { sh().fabric->yield_check(); }
+
 // ---------------------------------------------------------------------------
 // Collective creation
 // ---------------------------------------------------------------------------

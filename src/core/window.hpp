@@ -201,6 +201,11 @@ class Win {
   /// windows; 0 otherwise). For the ablation bench.
   int alloc_attempts() const;
 
+  /// One polite spin iteration: yields, then raises if a peer rank failed.
+  /// Every unbounded spin loop built on window memory (MCS lock, notified
+  /// access) must call this per iteration (CLAUDE.md rule).
+  void yield_check() const;
+
  private:
   struct Shared;
   struct DynCache;

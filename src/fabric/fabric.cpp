@@ -11,6 +11,11 @@ Fabric::Fabric(FabricOptions opts) : opts_(opts), domain_(opts.domain) {
   coll_ = std::make_unique<Collectives>(domain_, [this] { yield_check(); });
   p2p_ = std::make_unique<P2P>(domain_, [this] { yield_check(); },
                                opts_.eager_threshold);
+  // NIC model-time completion spins (wait/gsync) poll this hook so a peer
+  // failure aborts the spin instead of hanging the fleet (CLAUDE.md rule).
+  domain_.set_progress_hook(
+      [](void* self) { static_cast<const Fabric*>(self)->check_abort(); },
+      this);
 }
 
 std::exception_ptr Fabric::first_error() const {

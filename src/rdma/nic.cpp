@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <thread>
 
 #include "common/instr.hpp"
 #include "common/timing.hpp"
@@ -11,29 +12,56 @@ namespace fompi::rdma {
 
 namespace {
 
-/// Moves `len` bytes; 8-byte aligned single words go through CPU atomics so
-/// that protocol flags written by puts can be polled concurrently without a
-/// data race (Gemini likewise commits aligned 8-byte puts atomically).
+template <class Word>
+bool word_aligned(const void* p) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & (sizeof(Word) - 1)) == 0;
+}
+
+/// The aligned-word atomic dance shared by puts and gets: Gemini commits
+/// naturally aligned 4- and 8-byte transfers as single atomic words, which
+/// is what lets protocol flags written by puts be polled concurrently
+/// without a data race.
+template <class Word>
+void store_word(void* dst, const void* src) noexcept {
+  Word v;
+  std::memcpy(&v, src, sizeof(Word));
+  std::atomic_ref<Word>(*static_cast<Word*>(dst))
+      .store(v, std::memory_order_release);
+}
+
+template <class Word>
+void load_word(void* dst, const void* src) noexcept {
+  const Word v = std::atomic_ref<const Word>(*static_cast<const Word*>(src))
+                     .load(std::memory_order_acquire);
+  std::memcpy(dst, &v, sizeof(Word));
+}
+
+/// Moves `len` bytes; single aligned words go through CPU atomics. The
+/// 4-byte case covers i32 accumulate/CAS fallback traffic, which must not
+/// tear against concurrent readers either.
 void place_bytes(void* dst, const void* src, std::size_t len) {
-  if (len == 8 && (reinterpret_cast<std::uintptr_t>(dst) & 7u) == 0 &&
-      (reinterpret_cast<std::uintptr_t>(src) & 7u) == 0) {
-    std::uint64_t v;
-    std::memcpy(&v, src, 8);
-    std::atomic_ref<std::uint64_t>(*static_cast<std::uint64_t*>(dst))
-        .store(v, std::memory_order_release);
+  if (len == 8 && word_aligned<std::uint64_t>(dst) &&
+      word_aligned<std::uint64_t>(src)) {
+    store_word<std::uint64_t>(dst, src);
+    return;
+  }
+  if (len == 4 && word_aligned<std::uint32_t>(dst) &&
+      word_aligned<std::uint32_t>(src)) {
+    store_word<std::uint32_t>(dst, src);
     return;
   }
   std::memcpy(dst, src, len);
 }
 
 void fetch_bytes(void* dst, const void* src, std::size_t len) {
-  if (len == 8 && (reinterpret_cast<std::uintptr_t>(dst) & 7u) == 0 &&
-      (reinterpret_cast<std::uintptr_t>(src) & 7u) == 0) {
-    const std::uint64_t v =
-        std::atomic_ref<const std::uint64_t>(
-            *static_cast<const std::uint64_t*>(src))
-            .load(std::memory_order_acquire);
-    std::memcpy(dst, &v, 8);
+  if (len == 8 && word_aligned<std::uint64_t>(dst) &&
+      word_aligned<std::uint64_t>(src)) {
+    load_word<std::uint64_t>(dst, src);
+    return;
+  }
+  if (len == 4 && word_aligned<std::uint32_t>(dst) &&
+      word_aligned<std::uint32_t>(src)) {
+    load_word<std::uint32_t>(dst, src);
     return;
   }
   std::memcpy(dst, src, len);
@@ -49,10 +77,55 @@ bool Nic::inter_node(int target) const noexcept {
 }
 
 void Nic::wait_model_time(std::uint64_t complete_at) {
-  if (domain_.config().inject == Injection::model) {
-    const std::uint64_t t = now_ns();
-    if (complete_at > t) spin_for_ns(complete_at - t);
+  if (domain_.config().inject != Injection::model) return;
+  const std::uint64_t t = now_ns();
+  if (complete_at <= t) return;
+  const std::uint64_t ns = complete_at - t;
+  // Short waits busy-spin for timing fidelity. Long waits are an unbounded
+  // (minutes under large time_scale) completion spin: yield and poll the
+  // domain's progress hook so a peer failure aborts the wait instead of
+  // letting the fleet hang on a dead rank.
+  constexpr std::uint64_t kPoliteThreshold = 5'000;  // 5 us
+  if (ns <= kPoliteThreshold) {
+    spin_for_ns(ns);
+    return;
   }
+  while (now_ns() < complete_at) {
+    std::this_thread::yield();
+    domain_.progress_check();
+  }
+}
+
+void Nic::PendingOp::stage_payload(const void* src, std::size_t n) {
+  staged_len = n;
+  if (n <= kInlineStage) {
+    std::memcpy(stage_.data(), src, n);
+    return;
+  }
+  if (n > spill_.capacity()) count(Op::pool_grow);
+  spill_.assign(static_cast<const std::byte*>(src),
+                static_cast<const std::byte*>(src) + n);
+}
+
+void Nic::apply_direct(const OpReq& req, std::byte* remote) {
+  switch (req.kind) {
+    case PendingOp::Kind::put:
+      place_bytes(remote, req.src, req.len);
+      break;
+    case PendingOp::Kind::get:
+      if (req.len != 0) fetch_bytes(req.dst, remote, req.len);
+      break;
+    case PendingOp::Kind::amo: {
+      const std::uint64_t prev =
+          apply_amo(remote, req.aop, req.operand, req.compare);
+      if (req.fetch_out != nullptr) *req.fetch_out = prev;
+      break;
+    }
+  }
+  // Publish the effect: pairs with acquire loads in readers polling the
+  // target memory (protocol counters are read with atomics anyway; this
+  // fence covers plain payload reads after synchronization).
+  std::atomic_thread_fence(std::memory_order_release);
 }
 
 void Nic::apply(PendingOp& op) {
@@ -60,8 +133,8 @@ void Nic::apply(PendingOp& op) {
   op.applied = true;
   switch (op.kind) {
     case PendingOp::Kind::put:
-      if (!op.staged.empty()) {
-        place_bytes(op.remote, op.staged.data(), op.len);
+      if (op.staged_len != 0) {
+        place_bytes(op.remote, op.staged_data(), op.len);
       }
       break;
     case PendingOp::Kind::get:
@@ -74,163 +147,244 @@ void Nic::apply(PendingOp& op) {
       break;
     }
   }
-  // Publish the effect: pairs with acquire loads in readers polling the
-  // target memory (protocol counters are read with atomics anyway; this
-  // fence covers plain payload reads after synchronization).
   std::atomic_thread_fence(std::memory_order_release);
 }
 
-Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
-                  PendingOp op, bool implicit) {
-  const DomainConfig& cfg = domain_.config();
-  const NetworkModel& m = cfg.model;
-  const bool inter = inter_node(target);
-  op.remote = domain_.registry().resolve(rd.rkey, target, offset, op.len);
-  op.implicit = implicit;
+std::byte* Nic::resolve_cached(std::uint64_t rkey, int expected_owner,
+                               std::size_t offset, std::size_t len) {
+  count(Op::validation_check);
+  RkeyEntry& e = rkey_cache_[rkey & (kRkeyCacheSize - 1)];
+  // Read the generation BEFORE any locked lookup: a register/deregister
+  // racing with the fill lands the entry with a stale generation, so the
+  // next access revalidates instead of trusting a possibly-freed mapping.
+  const std::uint64_t gen = domain_.registry().generation();
+  if (e.rkey == rkey && e.gen == gen) {
+    count(Op::rkey_cache_hit);
+  } else {
+    count(Op::rkey_cache_miss);
+    RegionSnapshot snap;
+    FOMPI_REQUIRE(domain_.registry().snapshot(rkey, &snap),
+                  ErrClass::rma_range, "access to unregistered region");
+    e.rkey = rkey;
+    e.gen = gen;
+    e.base = snap.base;
+    e.size = snap.size;
+    e.owner = snap.owner;
+  }
+  FOMPI_REQUIRE(e.owner == expected_owner, ErrClass::rma_range,
+                "rkey does not belong to the addressed rank");
+  FOMPI_REQUIRE(offset <= e.size && len <= e.size - offset,
+                ErrClass::rma_range, "RMA access outside registered region");
+  return e.base + offset;
+}
 
-  switch (op.kind) {
+std::uint32_t Nic::acquire_slot() {
+  std::uint32_t idx;
+  if (free_head_ != kNoSlot) {
+    idx = free_head_;
+    free_head_ = slab_[idx].next_free;
+  } else {
+    count(Op::pool_grow);
+    idx = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Slot& s = slab_[idx];
+  s.live = true;
+  s.op.reset();
+  ++explicit_live_;
+  return idx;
+}
+
+void Nic::release_slot(std::uint32_t index) {
+  Slot& s = slab_[index];
+  s.live = false;
+  if (++s.tag == 0) s.tag = 1;  // tag 0 must stay permanently invalid
+  s.next_free = free_head_;
+  free_head_ = index;
+  --explicit_live_;
+}
+
+Nic::Slot* Nic::lookup(Handle h) {
+  const std::uint32_t idx = static_cast<std::uint32_t>(h);
+  const std::uint32_t tag = static_cast<std::uint32_t>(h >> 32);
+  if (idx >= slab_.size()) return nullptr;
+  Slot& s = slab_[idx];
+  if (!s.live || s.tag != tag) return nullptr;
+  return &s;
+}
+
+Nic::PendingOp& Nic::acquire_implicit() {
+  if (implicit_count_ == implicit_ops_.size()) {
+    count(Op::pool_grow);
+    implicit_ops_.emplace_back();
+  }
+  PendingOp& op = implicit_ops_[implicit_count_++];
+  op.reset();
+  return op;
+}
+
+Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
+                  const OpReq& req, bool implicit) {
+  const DomainConfig& cfg = domain_.config();
+  const bool inter = inter_node(target);
+  std::byte* remote = resolve_cached(rd.rkey, target, offset, req.len);
+
+  switch (req.kind) {
     case PendingOp::Kind::put: count(Op::transport_put); break;
     case PendingOp::Kind::get: count(Op::transport_get); break;
     case PendingOp::Kind::amo:
       count(inter ? Op::transport_amo : Op::local_atomic);
       break;
   }
-  if (op.len != 0) count(Op::bytes_copied, op.len);
+  if (req.len != 0) count(Op::bytes_copied, req.len);
 
-  // Model time accounting -------------------------------------------------
-  double overhead_ns = 0.0;
-  double latency_ns = 0.0;
-  if (inter) {
-    overhead_ns = m.inter_overhead_ns;
-    switch (op.kind) {
-      case PendingOp::Kind::put: latency_ns = m.put_latency_ns(op.len); break;
-      case PendingOp::Kind::get: latency_ns = m.get_latency_ns(op.len); break;
-      case PendingOp::Kind::amo: latency_ns = m.amo_latency_ns(); break;
-    }
-  } else {
-    overhead_ns = m.intra_overhead_ns;
-    latency_ns = op.kind == PendingOp::Kind::amo
-                     ? m.intra_amo_ns
-                     : m.intra_latency_ns(op.len);
-  }
-  const double scale = cfg.time_scale;
-  const std::uint64_t issue_start = now_ns();
+  // Model time accounting: only the injection mode consults the clock; the
+  // functional mode (Injection::none) runs the pure software path.
+  std::uint64_t complete_at = 0;
   if (cfg.inject == Injection::model) {
+    const NetworkModel& m = cfg.model;
+    double overhead_ns = 0.0;
+    double latency_ns = 0.0;
+    if (inter) {
+      overhead_ns = m.inter_overhead_ns;
+      switch (req.kind) {
+        case PendingOp::Kind::put:
+          latency_ns = m.put_latency_ns(req.len);
+          break;
+        case PendingOp::Kind::get:
+          latency_ns = m.get_latency_ns(req.len);
+          break;
+        case PendingOp::Kind::amo:
+          latency_ns = m.amo_latency_ns();
+          break;
+      }
+    } else {
+      overhead_ns = m.intra_overhead_ns;
+      latency_ns = req.kind == PendingOp::Kind::amo
+                       ? m.intra_amo_ns
+                       : m.intra_latency_ns(req.len);
+    }
+    const double scale = cfg.time_scale;
+    const std::uint64_t issue_start = now_ns();
     spin_for_ns(static_cast<std::uint64_t>(overhead_ns * scale));
+    complete_at = issue_start + static_cast<std::uint64_t>(latency_ns * scale);
+    latest_complete_at_ = std::max(latest_complete_at_, complete_at);
   }
-  op.complete_at =
-      issue_start + static_cast<std::uint64_t>(latency_ns * scale);
-  latest_complete_at_ = std::max(latest_complete_at_, op.complete_at);
 
   // Data movement -----------------------------------------------------------
   // Intra-node ("XPMEM") ops are CPU loads/stores: always applied at issue.
   // Inter-node ops are applied at issue under immediate delivery, and
   // postponed to completion under deferred delivery.
   const bool defer = inter && cfg.delivery == Delivery::deferred;
-  if (defer) {
-    if (op.kind == PendingOp::Kind::put) {
-      // Real NICs read the source buffer asynchronously; staging the payload
-      // at issue models a NIC that has already DMA-read the source, keeping
-      // the (legal) late-visibility behaviour at the target only.
-      op.staged.assign(static_cast<const std::byte*>(op.local),
-                       static_cast<const std::byte*>(op.local) + op.len);
-      op.local = nullptr;
-    }
+  if (!defer) {
+    apply_direct(req, remote);
     if (implicit) {
-      implicit_ops_.push_back(std::move(op));
       ++implicit_live_;
       return kDoneHandle;
     }
-    const Handle h = next_handle_++;
-    pending_.emplace(h, std::move(op));
-    return h;
+    if (cfg.inject == Injection::model) {
+      // Data already placed; the handle still completes at the modeled
+      // time.
+      const std::uint32_t idx = acquire_slot();
+      PendingOp& op = slab_[idx].op;
+      op.kind = req.kind;
+      op.implicit = false;
+      op.applied = true;
+      op.len = 0;
+      op.complete_at = complete_at;
+      return encode(idx, slab_[idx].tag);
+    }
+    return kDoneHandle;
   }
 
-  // Applied now. Puts source from op.local for the non-deferred path.
-  if (op.kind == PendingOp::Kind::put) {
-    place_bytes(op.remote, op.local, op.len);
-    std::atomic_thread_fence(std::memory_order_release);
-    op.applied = true;
+  // Deferred: record the op in the pool; data moves at completion. Real
+  // NICs read the put source asynchronously; staging the payload at issue
+  // models a NIC that has already DMA-read the source, keeping the (legal)
+  // late-visibility behaviour at the target only.
+  std::uint32_t idx = kNoSlot;
+  PendingOp* op;
+  if (implicit) {
+    op = &acquire_implicit();
   } else {
-    apply(op);
+    idx = acquire_slot();
+    op = &slab_[idx].op;
   }
-
+  op->kind = req.kind;
+  op->implicit = implicit;
+  op->remote = remote;
+  op->local = req.dst;
+  op->len = req.len;
+  op->aop = req.aop;
+  op->operand = req.operand;
+  op->compare = req.compare;
+  op->fetch_out = req.fetch_out;
+  op->complete_at = complete_at;
+  if (req.kind == PendingOp::Kind::put) op->stage_payload(req.src, req.len);
   if (implicit) {
     ++implicit_live_;
     return kDoneHandle;
   }
-  if (cfg.inject == Injection::model) {
-    // Data already placed; the handle still completes at the modeled time.
-    PendingOp marker;
-    marker.kind = op.kind;
-    marker.len = 0;
-    marker.complete_at = op.complete_at;
-    marker.applied = true;
-    const Handle h = next_handle_++;
-    pending_.emplace(h, std::move(marker));
-    return h;
-  }
-  return kDoneHandle;
+  return encode(idx, slab_[idx].tag);
 }
 
 Handle Nic::put_nb(int target, const RegionDesc& rd, std::size_t offset,
                    const void* src, std::size_t len) {
-  PendingOp op;
-  op.kind = PendingOp::Kind::put;
-  op.local = const_cast<void*>(src);
-  op.len = len;
-  return issue(target, rd, offset, std::move(op), /*implicit=*/false);
+  OpReq req;
+  req.kind = PendingOp::Kind::put;
+  req.src = src;
+  req.len = len;
+  return issue(target, rd, offset, req, /*implicit=*/false);
 }
 
 Handle Nic::get_nb(int target, const RegionDesc& rd, std::size_t offset,
                    void* dst, std::size_t len) {
-  PendingOp op;
-  op.kind = PendingOp::Kind::get;
-  op.local = dst;
-  op.len = len;
-  return issue(target, rd, offset, std::move(op), /*implicit=*/false);
+  OpReq req;
+  req.kind = PendingOp::Kind::get;
+  req.dst = dst;
+  req.len = len;
+  return issue(target, rd, offset, req, /*implicit=*/false);
 }
 
 Handle Nic::amo_nb(int target, const RegionDesc& rd, std::size_t offset,
                    AmoOp aop, std::uint64_t operand, std::uint64_t compare,
                    std::uint64_t* fetch_out) {
-  PendingOp op;
-  op.kind = PendingOp::Kind::amo;
-  op.len = 8;
-  op.aop = aop;
-  op.operand = operand;
-  op.compare = compare;
-  op.fetch_out = fetch_out;
-  return issue(target, rd, offset, std::move(op), /*implicit=*/false);
+  OpReq req;
+  req.kind = PendingOp::Kind::amo;
+  req.len = 8;
+  req.aop = aop;
+  req.operand = operand;
+  req.compare = compare;
+  req.fetch_out = fetch_out;
+  return issue(target, rd, offset, req, /*implicit=*/false);
 }
 
 void Nic::put_nbi(int target, const RegionDesc& rd, std::size_t offset,
                   const void* src, std::size_t len) {
-  PendingOp op;
-  op.kind = PendingOp::Kind::put;
-  op.local = const_cast<void*>(src);
-  op.len = len;
-  issue(target, rd, offset, std::move(op), /*implicit=*/true);
+  OpReq req;
+  req.kind = PendingOp::Kind::put;
+  req.src = src;
+  req.len = len;
+  issue(target, rd, offset, req, /*implicit=*/true);
 }
 
 void Nic::get_nbi(int target, const RegionDesc& rd, std::size_t offset,
                   void* dst, std::size_t len) {
-  PendingOp op;
-  op.kind = PendingOp::Kind::get;
-  op.local = dst;
-  op.len = len;
-  issue(target, rd, offset, std::move(op), /*implicit=*/true);
+  OpReq req;
+  req.kind = PendingOp::Kind::get;
+  req.dst = dst;
+  req.len = len;
+  issue(target, rd, offset, req, /*implicit=*/true);
 }
 
 void Nic::amo_nbi(int target, const RegionDesc& rd, std::size_t offset,
                   AmoOp aop, std::uint64_t operand, std::uint64_t compare) {
-  PendingOp op;
-  op.kind = PendingOp::Kind::amo;
-  op.len = 8;
-  op.aop = aop;
-  op.operand = operand;
-  op.compare = compare;
-  issue(target, rd, offset, std::move(op), /*implicit=*/true);
+  OpReq req;
+  req.kind = PendingOp::Kind::amo;
+  req.len = 8;
+  req.aop = aop;
+  req.operand = operand;
+  req.compare = compare;
+  issue(target, rd, offset, req, /*implicit=*/true);
 }
 
 void Nic::put(int target, const RegionDesc& rd, std::size_t offset,
@@ -253,24 +407,24 @@ std::uint64_t Nic::amo(int target, const RegionDesc& rd, std::size_t offset,
 
 bool Nic::test(Handle h) {
   if (h == kDoneHandle) return true;
-  const auto it = pending_.find(h);
-  FOMPI_REQUIRE(it != pending_.end(), ErrClass::arg, "test: unknown handle");
+  Slot* s = lookup(h);
+  FOMPI_REQUIRE(s != nullptr, ErrClass::arg, "test: unknown handle");
   if (domain_.config().inject == Injection::model &&
-      now_ns() < it->second.complete_at) {
+      now_ns() < s->op.complete_at) {
     return false;
   }
-  apply(it->second);
-  pending_.erase(it);
+  apply(s->op);
+  release_slot(static_cast<std::uint32_t>(h));
   return true;
 }
 
 void Nic::wait(Handle h) {
   if (h == kDoneHandle) return;
-  const auto it = pending_.find(h);
-  FOMPI_REQUIRE(it != pending_.end(), ErrClass::arg, "wait: unknown handle");
-  wait_model_time(it->second.complete_at);
-  apply(it->second);
-  pending_.erase(it);
+  Slot* s = lookup(h);
+  FOMPI_REQUIRE(s != nullptr, ErrClass::arg, "wait: unknown handle");
+  wait_model_time(s->op.complete_at);
+  apply(s->op);
+  release_slot(static_cast<std::uint32_t>(h));
 }
 
 void Nic::gsync() {
@@ -278,17 +432,22 @@ void Nic::gsync() {
   // Drain deferred operations, optionally in shuffled order to model the
   // absence of network ordering guarantees. Explicit handles stay valid for
   // a later test/wait; their data movement happens here at the latest.
-  std::vector<PendingOp*> drained;
-  drained.reserve(implicit_ops_.size() + pending_.size());
-  for (auto& op : implicit_ops_) drained.push_back(&op);
-  for (auto& [h, op] : pending_) drained.push_back(&op);
-  if (domain_.config().shuffle_deferred && drained.size() > 1) {
-    for (std::size_t i = drained.size() - 1; i > 0; --i) {
-      std::swap(drained[i], drained[rng_.below(i + 1)]);
+  drain_scratch_.clear();
+  for (std::size_t i = 0; i < implicit_count_; ++i) {
+    drain_scratch_.push_back(&implicit_ops_[i]);
+  }
+  if (explicit_live_ != 0) {
+    for (Slot& s : slab_) {
+      if (s.live) drain_scratch_.push_back(&s.op);
     }
   }
-  for (auto* op : drained) apply(*op);
-  implicit_ops_.clear();
+  if (domain_.config().shuffle_deferred && drain_scratch_.size() > 1) {
+    for (std::size_t i = drain_scratch_.size() - 1; i > 0; --i) {
+      std::swap(drain_scratch_[i], drain_scratch_[rng_.below(i + 1)]);
+    }
+  }
+  for (PendingOp* op : drain_scratch_) apply(*op);
+  implicit_count_ = 0;
   wait_model_time(latest_complete_at_);
   implicit_live_ = 0;
   local_fence();

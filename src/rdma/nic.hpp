@@ -16,13 +16,27 @@
 //                       This is the failure-injection mode used by tests to
 //                       catch code that assumes eager remote visibility.
 //
+// Issue fast path (the paper's central claim is that this path adds no
+// software overhead; see DESIGN.md "fast path"):
+//   - rkey resolution goes through a per-NIC direct-mapped cache validated
+//     against the registry's generation counter — the registry's shared
+//     lock is taken once per (rkey, registration epoch), not once per op;
+//   - completion state lives in a slab/free-list pool indexed by the
+//     handle's low bits (high bits carry an ABA tag), so issue/test/wait/
+//     gsync do no map operations;
+//   - deferred put payloads of up to PendingOp::kInlineStage bytes stage
+//     into a fixed in-struct buffer; only larger payloads touch a spill
+//     vector whose capacity is recycled with the slot.
+//   Steady state performs zero heap allocations per op; every pool or
+//   spill growth is counted as Op::pool_grow (asserted by tests/bench).
+//
 // A Nic is owned and driven by exactly one rank thread (not thread-safe);
 // the memory it targets is shared, with AMO words accessed via CPU atomics.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -35,7 +49,10 @@ namespace fompi::rdma {
 class Domain;
 
 /// Completion handle for explicit nonblocking operations. Handle 0 denotes
-/// an operation that completed at issue (fast path).
+/// an operation that completed at issue (fast path). Nonzero handles encode
+/// a pool slot index in the low 32 bits and a nonzero ABA tag in the high
+/// 32 bits, so a retired handle is detected instead of aliasing a recycled
+/// slot.
 using Handle = std::uint64_t;
 inline constexpr Handle kDoneHandle = 0;
 
@@ -87,42 +104,131 @@ class Nic {
   /// intra-node path.
   void local_fence();
 
-  /// Outstanding (not yet completed) operation count.
+  /// Explicit nonblocking operations with a live (unretired) handle.
+  std::size_t explicit_outstanding() const noexcept { return explicit_live_; }
+  /// Implicit operations issued since the last gsync. Counts every
+  /// implicit op — including ones whose data moved at issue — because
+  /// DMAPP-style implicit ops are only *completed* by bulk sync.
+  std::size_t implicit_outstanding() const noexcept {
+    return static_cast<std::size_t>(implicit_live_);
+  }
+  /// Outstanding (not yet completed) operation count: explicit + implicit.
   std::size_t outstanding() const noexcept {
-    return pending_.size() + static_cast<std::size_t>(implicit_live_);
+    return explicit_outstanding() + implicit_outstanding();
   }
 
  private:
   struct PendingOp {
-    enum class Kind : std::uint8_t { put, get, amo } kind;
-    void* remote = nullptr;
+    enum class Kind : std::uint8_t { put, get, amo };
+    /// Inline staging capacity: covers every protocol-flag word and
+    /// notified-access put the library issues on its own behalf.
+    static constexpr std::size_t kInlineStage = 64;
+
+    Kind kind = Kind::put;
+    bool implicit = false;
+    bool applied = false;  // data movement already performed
+    std::byte* remote = nullptr;
     void* local = nullptr;  // get destination
     std::size_t len = 0;
-    std::vector<std::byte> staged;  // deferred put payload
     AmoOp aop = AmoOp::read;
     std::uint64_t operand = 0, compare = 0;
     std::uint64_t* fetch_out = nullptr;
     std::uint64_t complete_at = 0;  // ns timestamp when model says done
-    bool implicit = false;
-    bool applied = false;  // data movement already performed
+
+    std::size_t staged_len = 0;  // deferred put payload length
+    alignas(8) std::array<std::byte, kInlineStage> stage_{};
+    std::vector<std::byte> spill_;  // payloads > kInlineStage only
+
+    /// Copies a deferred put payload; spills to the heap only above
+    /// kInlineStage, reusing the slot's previous spill capacity.
+    void stage_payload(const void* src, std::size_t n);
+    const std::byte* staged_data() const noexcept {
+      return staged_len <= kInlineStage ? stage_.data() : spill_.data();
+    }
+    /// Clears per-op state but keeps the spill capacity for recycling.
+    void reset() noexcept {
+      applied = false;
+      fetch_out = nullptr;
+      staged_len = 0;
+      complete_at = 0;
+    }
+  };
+
+  /// One slab slot: the pooled op plus free-list / liveness bookkeeping.
+  struct Slot {
+    PendingOp op;
+    std::uint32_t tag = 1;  // never 0: 0-tagged handles are always invalid
+    std::uint32_t next_free = 0;
+    bool live = false;
+  };
+
+  /// Per-NIC direct-mapped rkey cache entry (see resolve_cached).
+  struct RkeyEntry {
+    std::uint64_t rkey = 0;  // 0 = empty
+    std::uint64_t gen = 0;   // registry generation the snapshot was taken at
+    std::byte* base = nullptr;
+    std::size_t size = 0;
+    int owner = -1;
+  };
+  static constexpr std::size_t kRkeyCacheSize = 64;  // power of two
+  static_assert((kRkeyCacheSize & (kRkeyCacheSize - 1)) == 0);
+
+  /// Plain-data description of one operation, passed by the public entry
+  /// points; the fast path never materializes a PendingOp.
+  struct OpReq {
+    PendingOp::Kind kind;
+    const void* src = nullptr;  // put source
+    void* dst = nullptr;        // get destination
+    std::size_t len = 0;
+    AmoOp aop = AmoOp::read;
+    std::uint64_t operand = 0, compare = 0;
+    std::uint64_t* fetch_out = nullptr;
   };
 
   bool inter_node(int target) const noexcept;
+  /// Epoch-validated cached resolve; falls back to a locked registry
+  /// snapshot only when the cache entry is absent or the registration
+  /// generation moved. Raises exactly like RegionRegistry::resolve.
+  std::byte* resolve_cached(std::uint64_t rkey, int expected_owner,
+                            std::size_t offset, std::size_t len);
   /// Issues one op; returns kDoneHandle when it completed at issue.
   Handle issue(int target, const RegionDesc& rd, std::size_t offset,
-               PendingOp op, bool implicit);
+               const OpReq& req, bool implicit);
   void apply(PendingOp& op);
+  /// Applies an op straight from its request, with no pooled record.
+  void apply_direct(const OpReq& req, std::byte* remote);
   void wait_model_time(std::uint64_t complete_at);
+
+  // Slab pool management (explicit handles).
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  Slot* lookup(Handle h);
+  static Handle encode(std::uint32_t index, std::uint32_t tag) noexcept {
+    return (static_cast<Handle>(tag) << 32) | index;
+  }
+
+  PendingOp& acquire_implicit();
 
   Domain& domain_;
   int rank_;
   Rng rng_;
-  std::uint64_t next_handle_ = 1;
-  std::unordered_map<Handle, PendingOp> pending_;
-  /// Implicit inter-node ops kept for deferred application / completion time.
+
+  std::array<RkeyEntry, kRkeyCacheSize> rkey_cache_{};
+
+  // Explicit-handle pool: slab + intrusive LIFO free list.
+  std::vector<Slot> slab_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t explicit_live_ = 0;
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  // Implicit-op pool: entries [0, implicit_count_) are live; gsync resets
+  // the count but keeps the entries (and their spill capacity).
   std::vector<PendingOp> implicit_ops_;
-  std::uint64_t implicit_live_ = 0;       // count incl. fast-path ops
-  std::uint64_t latest_complete_at_ = 0;  // max completion time seen
+  std::size_t implicit_count_ = 0;
+  std::uint64_t implicit_live_ = 0;  // incl. ops whose data moved at issue
+
+  std::vector<PendingOp*> drain_scratch_;  // gsync working set, recycled
+  std::uint64_t latest_complete_at_ = 0;   // max completion time seen
 };
 
 struct DomainConfig {
@@ -158,10 +264,24 @@ class Domain {
   const DomainConfig& config() const noexcept { return cfg_; }
   Nic& nic(int rank);
 
+  /// Invoked on every iteration of an unbounded NIC model-time spin
+  /// (wait/gsync); the runtime installs a hook that raises when a peer
+  /// rank failed, so a dead fleet aborts instead of hanging (CLAUDE.md).
+  using ProgressHook = void (*)(void* arg);
+  void set_progress_hook(ProgressHook hook, void* arg) noexcept {
+    progress_hook_ = hook;
+    progress_arg_ = arg;
+  }
+  void progress_check() const {
+    if (progress_hook_ != nullptr) progress_hook_(progress_arg_);
+  }
+
  private:
   DomainConfig cfg_;
   RegionRegistry registry_;
   std::vector<std::unique_ptr<Nic>> nics_;
+  ProgressHook progress_hook_ = nullptr;
+  void* progress_arg_ = nullptr;
 };
 
 }  // namespace fompi::rdma

@@ -12,6 +12,7 @@ RegionDesc RegionRegistry::register_region(int owner, void* base,
   std::unique_lock lock(mu_);
   const std::uint64_t key = next_key_++;
   regions_.emplace(key, Entry{owner, static_cast<std::byte*>(base), size});
+  generation_.fetch_add(1, std::memory_order_release);
   return RegionDesc{key, owner, size};
 }
 
@@ -21,6 +22,7 @@ void RegionRegistry::deregister(std::uint64_t rkey) {
   FOMPI_REQUIRE(it != regions_.end(), ErrClass::arg,
                 "deregister: unknown rkey");
   regions_.erase(it);
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 void* RegionRegistry::resolve(std::uint64_t rkey, int expected_owner,
@@ -36,6 +38,16 @@ void* RegionRegistry::resolve(std::uint64_t rkey, int expected_owner,
   FOMPI_REQUIRE(offset <= e.size && len <= e.size - offset,
                 ErrClass::rma_range, "RMA access outside registered region");
   return e.base + offset;
+}
+
+bool RegionRegistry::snapshot(std::uint64_t rkey, RegionSnapshot* out) const {
+  std::shared_lock lock(mu_);
+  const auto it = regions_.find(rkey);
+  if (it == regions_.end()) return false;
+  out->owner = it->second.owner;
+  out->base = it->second.base;
+  out->size = it->second.size;
+  return true;
 }
 
 std::size_t RegionRegistry::live_count() const {

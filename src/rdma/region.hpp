@@ -5,8 +5,15 @@
 // descriptor ("rkey") that peers present with every access. The registry
 // validates every remote access against the registered bounds, which turns
 // wild RMA writes into FOMPI_ERR_RMA_RANGE instead of memory corruption.
+//
+// Fast-path contract: the registry is the *slow* path. It keeps a
+// generation counter bumped on every register/deregister; each NIC keeps a
+// small direct-mapped rkey cache validated against that counter, so the
+// shared lock here is taken once per (rkey, generation) instead of once per
+// operation (see Nic::resolve_cached and DESIGN.md "fast path").
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <shared_mutex>
@@ -24,6 +31,14 @@ struct RegionDesc {
   std::size_t size = 0;    ///< length in bytes
 };
 
+/// Immutable copy of one registration, taken under the registry lock; what
+/// NIC rkey caches store.
+struct RegionSnapshot {
+  int owner = -1;
+  std::byte* base = nullptr;
+  std::size_t size = 0;
+};
+
 /// Process-wide registration table shared by all simulated NICs.
 class RegionRegistry {
  public:
@@ -39,6 +54,17 @@ class RegionRegistry {
   void* resolve(std::uint64_t rkey, int expected_owner, std::size_t offset,
                 std::size_t len) const;
 
+  /// Copies the registration under the shared lock; false if unknown.
+  /// Pair with a generation() read taken *before* the call: if the counter
+  /// is unchanged afterwards the snapshot is still current.
+  bool snapshot(std::uint64_t rkey, RegionSnapshot* out) const;
+
+  /// Registration epoch: bumped by every register/deregister. A cached
+  /// snapshot taken at generation g is valid while generation() == g.
+  std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
   /// Number of live registrations (used by leak tests).
   std::size_t live_count() const;
 
@@ -52,6 +78,7 @@ class RegionRegistry {
   mutable std::shared_mutex mu_;
   std::unordered_map<std::uint64_t, Entry> regions_;
   std::uint64_t next_key_ = 1;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 }  // namespace fompi::rdma

@@ -243,3 +243,37 @@ TEST(Dynamic, IdCounterModePaysRemoteReadEveryAccess) {
     }
   });
 }
+
+TEST(Dynamic, AttachDetachStormDoesNotLeakRegistrations) {
+  // Registration-churn leak check: a stress run of attach/put/detach cycles
+  // plus window teardown must return the registry to its pre-window live
+  // count (window control blocks included).
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    auto& reg = ctx.fabric().domain().registry();
+    ctx.barrier();
+    const std::size_t base_live = reg.live_count();
+    {
+      Win win = Win::create_dynamic(ctx);
+      for (int round = 0; round < 10; ++round) {
+        std::vector<std::uint64_t> mem(8, 0);
+        win.attach(mem.data(), 64);
+        std::array<std::uint64_t, 2> addrs{};
+        const std::uint64_t mine = reinterpret_cast<std::uint64_t>(mem.data());
+        ctx.allgather(&mine, 1, addrs.data());
+        win.lock_all();
+        const int peer = 1 - ctx.rank();
+        const std::uint64_t v = static_cast<std::uint64_t>(round);
+        win.put(&v, 8, peer, addrs[static_cast<std::size_t>(peer)]);
+        win.flush(peer);
+        win.unlock_all();
+        ctx.barrier();
+        EXPECT_EQ(mem[0], static_cast<std::uint64_t>(round));
+        win.detach(mem.data());
+        ctx.barrier();  // mem must outlive every peer access
+      }
+      win.free();
+    }
+    ctx.barrier();
+    EXPECT_EQ(reg.live_count(), base_live) << "registration leak";
+  });
+}

@@ -1,12 +1,18 @@
 // Unit tests for the RDMA substrate: registration, AMOs, the simulated NIC
-// in all delivery/injection modes, and the network model.
+// in all delivery/injection modes, the network model, and the issue fast
+// path (rkey cache epochs, pooled completion handles, zero-alloc steady
+// state).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <numeric>
+#include <thread>
 
 #include "common/buffer.hpp"
+#include "common/instr.hpp"
 #include "common/timing.hpp"
+#include "fabric/fabric.hpp"
 #include "rdma/network_model.hpp"
 #include "rdma/nic.hpp"
 
@@ -374,4 +380,232 @@ TEST(Nic, IntraNodeFasterThanInterNodeUnderModel) {
   for (int i = 0; i < 50; ++i) nic.put(2, d2, 0, &v, 8);
   const double inter = te.elapsed_us();
   EXPECT_LT(intra, inter);
+}
+
+// --- issue fast path: rkey cache, handle pool, zero-alloc steady state -------
+
+TEST(Region, GenerationAdvancesOnChurn) {
+  RegionRegistry reg;
+  AlignedBuffer mem(64);
+  const std::uint64_t g0 = reg.generation();
+  const RegionDesc d = reg.register_region(0, mem.data(), 64);
+  EXPECT_GT(reg.generation(), g0);
+  const std::uint64_t g1 = reg.generation();
+  reg.deregister(d.rkey);
+  EXPECT_GT(reg.generation(), g1);
+
+  RegionSnapshot snap;
+  EXPECT_FALSE(reg.snapshot(d.rkey, &snap));
+  const RegionDesc d2 = reg.register_region(1, mem.data(), 64);
+  ASSERT_TRUE(reg.snapshot(d2.rkey, &snap));
+  EXPECT_EQ(snap.owner, 1);
+  EXPECT_EQ(snap.base, mem.data());
+  EXPECT_EQ(snap.size, 64u);
+}
+
+TEST(Nic, RkeyCacheHitsDominate) {
+  // Acceptance check for the fast path: after one warming miss, a stable
+  // working set resolves entirely from the per-NIC cache — the registry's
+  // shared lock is taken once per (rkey, generation), not per op.
+  Domain dom(two_rank_internode());
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  Nic& nic = dom.nic(0);
+  const std::uint64_t v = 1;
+  nic.put(1, d, 0, &v, 8);  // warm: exactly one locked resolve
+
+  const OpCounters before = op_counters();
+  for (int i = 0; i < 1000; ++i) nic.put(1, d, 0, &v, 8);
+  const OpCounters delta = op_counters().since(before);
+  EXPECT_EQ(delta.get(Op::rkey_cache_hit), 1000u);
+  EXPECT_EQ(delta.get(Op::rkey_cache_miss), 0u);
+}
+
+TEST(Nic, StaleCacheRaisesAfterDeregister) {
+  // A cached rkey must never outlive its registration: deregistering bumps
+  // the registry generation, so the next access revalidates, misses, and
+  // raises FOMPI_ERR_RMA_RANGE instead of touching freed memory.
+  Domain dom(two_rank_internode());
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  Nic& nic = dom.nic(0);
+  const std::uint64_t v = 5;
+  nic.put(1, d, 0, &v, 8);  // cache now holds d.rkey
+  dom.registry().deregister(d.rkey);
+  try {
+    nic.put(1, d, 0, &v, 8);
+    FAIL() << "stale rkey access did not raise";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.err_class(), ErrClass::rma_range);
+  }
+  // Re-registration issues a fresh descriptor that works immediately.
+  const RegionDesc d2 = dom.registry().register_region(1, mem.data(), 64);
+  EXPECT_NO_THROW(nic.put(1, d2, 0, &v, 8));
+  EXPECT_THROW(nic.put(1, d, 0, &v, 8), Error);  // old key stays dead
+}
+
+TEST(Nic, HandleTagDetectsRecycledSlot) {
+  // Completion slots are pooled; a retired handle must not alias the next
+  // operation that recycles its slot (ABA protection via the tag bits).
+  DomainConfig cfg = two_rank_internode();
+  cfg.delivery = Delivery::deferred;
+  Domain dom(cfg);
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  Nic& nic = dom.nic(0);
+  const std::uint64_t v = 3;
+  const Handle h1 = nic.put_nb(1, d, 0, &v, 8);
+  nic.wait(h1);
+  const Handle h2 = nic.put_nb(1, d, 8, &v, 8);
+  EXPECT_EQ(h1 & 0xffffffffu, h2 & 0xffffffffu) << "slot was not recycled";
+  EXPECT_NE(h1, h2) << "recycled slot reissued an identical handle";
+  EXPECT_THROW(nic.wait(h1), Error);
+  EXPECT_THROW(nic.test(h1), Error);
+  EXPECT_NO_THROW(nic.wait(h2));
+}
+
+TEST(Nic, ExplicitAndImplicitAccountingDistinct) {
+  DomainConfig cfg = two_rank_internode();
+  cfg.delivery = Delivery::deferred;
+  Domain dom(cfg);
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  Nic& nic = dom.nic(0);
+  const std::uint64_t v = 9;
+
+  nic.put_nbi(1, d, 0, &v, 8);
+  EXPECT_EQ(nic.implicit_outstanding(), 1u);
+  EXPECT_EQ(nic.explicit_outstanding(), 0u);
+  EXPECT_EQ(nic.outstanding(), 1u);
+
+  const Handle h = nic.put_nb(1, d, 8, &v, 8);
+  EXPECT_EQ(nic.explicit_outstanding(), 1u);
+  EXPECT_EQ(nic.outstanding(), 2u);
+
+  nic.gsync();  // completes implicit ops; the explicit handle stays live
+  EXPECT_EQ(nic.implicit_outstanding(), 0u);
+  EXPECT_EQ(nic.explicit_outstanding(), 1u);
+  EXPECT_EQ(nic.outstanding(), 1u);
+
+  nic.wait(h);
+  EXPECT_EQ(nic.outstanding(), 0u);
+}
+
+TEST(Nic, SteadyStateIssuesAreAllocationFree) {
+  // Acceptance check: once pools are warm, issuing mixed operations —
+  // including spill-sized deferred puts — performs zero heap allocations.
+  // Every pool or spill growth is counted as Op::pool_grow.
+  DomainConfig cfg = two_rank_internode();
+  cfg.delivery = Delivery::deferred;
+  Domain dom(cfg);
+  AlignedBuffer mem(4096);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 4096);
+  Nic& nic = dom.nic(0);
+  std::uint64_t v = 7, fetched = 0;
+  std::array<std::byte, 256> big{};  // above PendingOp::kInlineStage
+
+  auto cycle = [&](int i) {
+    nic.wait(nic.put_nb(1, d, (i % 8) * 8, &v, 8));
+    nic.wait(nic.get_nb(1, d, 0, &v, 8));
+    nic.wait(nic.amo_nb(1, d, 0, AmoOp::fetch_add, 1, 0, &fetched));
+    nic.put_nbi(1, d, 1024, big.data(), big.size());    // implicit spill
+    nic.wait(nic.put_nb(1, d, 2048, big.data(), big.size()));  // explicit spill
+    if (i % 16 == 15) nic.gsync();
+  };
+  for (int i = 0; i < 64; ++i) cycle(i);  // warm every pool and spill buffer
+  nic.gsync();
+
+  const OpCounters before = op_counters();
+  for (int i = 0; i < 10000; ++i) cycle(i);
+  nic.gsync();
+  const OpCounters delta = op_counters().since(before);
+  EXPECT_EQ(delta.get(Op::pool_grow), 0u) << "steady state allocated";
+  EXPECT_EQ(delta.get(Op::rkey_cache_miss), 0u);
+  EXPECT_GE(delta.get(Op::rkey_cache_hit), 50000u);
+}
+
+TEST(Nic, RegistryChurnStormInvalidatesCaches) {
+  // Concurrent register/deregister storms from every rank: live accesses
+  // must land, stale descriptors must raise on every rank (never touching
+  // freed memory), and no registration may leak.
+  constexpr int kRanks = 4;
+  constexpr int kRounds = 20;
+  fabric::FabricOptions opts;
+  opts.domain.nranks = kRanks;
+  opts.domain.ranks_per_node = 1;
+  fabric::run_ranks(
+      kRanks,
+      [&](fabric::RankCtx& ctx) {
+        auto& reg = ctx.fabric().domain().registry();
+        const int p = ctx.nranks();
+        const int me = ctx.rank();
+        const int succ = (me + 1) % p;
+        const int pred = (me + p - 1) % p;
+        ctx.barrier();
+        const std::size_t base_live = reg.live_count();
+        ctx.barrier();  // nobody registers until every rank read the baseline
+        for (int r = 0; r < kRounds; ++r) {
+          AlignedBuffer mem(128);
+          const RegionDesc mine = reg.register_region(me, mem.data(), 128);
+          std::vector<RegionDesc> descs(static_cast<std::size_t>(p));
+          ctx.allgather(&mine, 1, descs.data());
+          const std::uint64_t v = static_cast<std::uint64_t>(r) * 1000 + me;
+          ctx.nic().put(succ, descs[static_cast<std::size_t>(succ)],
+                        static_cast<std::size_t>(me) * 8, &v, 8);
+          ctx.barrier();  // all puts of this round landed
+          std::uint64_t got = 0;
+          std::memcpy(&got, mem.data() + pred * 8, 8);
+          EXPECT_EQ(got, static_cast<std::uint64_t>(r) * 1000 + pred);
+          ctx.barrier();  // all verifies done before anyone deregisters
+          reg.deregister(mine.rkey);
+          ctx.barrier();  // every region of this round is gone
+          bool caught = false;
+          try {
+            ctx.nic().put(succ, descs[static_cast<std::size_t>(succ)], 0, &v,
+                          8);
+          } catch (const Error& e) {
+            caught = e.err_class() == ErrClass::rma_range;
+          }
+          EXPECT_TRUE(caught) << "stale descriptor did not raise";
+          ctx.barrier();  // buffers stay alive until the round fully ends
+        }
+        EXPECT_EQ(reg.live_count(), base_live) << "registration leak";
+      },
+      opts);
+}
+
+TEST(Nic, KilledPeerAbortsWaitSpin) {
+  // Regression for the CLAUDE.md spin-loop rule: a rank parked in wait() on
+  // a modeled completion must notice a peer failure through the progress
+  // hook and abort, instead of sleeping out the full modeled latency.
+  fabric::FabricOptions opts;
+  opts.domain.nranks = 2;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.inject = Injection::model;
+  opts.domain.model.inter_overhead_ns = 0.0;  // keep the issue path instant
+  // Inflate the *get* latency only: the runtime's dissemination barrier is
+  // built on modeled puts, which must stay fast for setup to finish.
+  opts.domain.model.get_base_ns = 30e9;  // 30 s modeled completion
+  std::vector<AlignedBuffer> bufs;  // outlives the fleet
+  bufs.emplace_back(64);
+  bufs.emplace_back(64);
+  Timer t;
+  EXPECT_ANY_THROW(fabric::run_ranks(
+      2,
+      [&](fabric::RankCtx& ctx) {
+        auto& reg = ctx.fabric().domain().registry();
+        const RegionDesc mine = reg.register_region(
+            ctx.rank(), bufs[static_cast<std::size_t>(ctx.rank())].data(), 64);
+        std::vector<RegionDesc> descs(2);
+        ctx.allgather(&mine, 1, descs.data());
+        if (ctx.rank() == 1) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          throw std::runtime_error("injected peer failure");
+        }
+        std::uint64_t v = 0;
+        const Handle h = ctx.nic().get_nb(1, descs[1], 0, &v, 8);
+        ctx.nic().wait(h);  // must abort via the progress hook
+      },
+      opts));
+  EXPECT_LT(t.elapsed_us(), 10e6) << "wait spin outlived the dead peer";
 }
