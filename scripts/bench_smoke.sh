@@ -1,13 +1,15 @@
 #!/usr/bin/env sh
 # Smoke-check the benchmark pipeline.
 #
-#   scripts/bench_smoke.sh          build Release, run bench_fastpath and one
-#                                   figure bench; bench_fastpath's JSON lands
-#                                   in BENCH_fastpath.json at the repo root
+#   scripts/bench_smoke.sh          build Release, run bench_fastpath,
+#                                   bench_datatype and one figure bench; the
+#                                   JSON outputs land in BENCH_fastpath.json
+#                                   and BENCH_datatype.json at the repo root
 #   scripts/bench_smoke.sh --tsan   additionally build with
 #                                   -DFOMPI_SANITIZE=thread and run the
 #                                   concurrency-heavy tests (test_rdma,
-#                                   test_lock) under ThreadSanitizer
+#                                   test_lock, test_datatype, test_comm,
+#                                   test_accumulate) under ThreadSanitizer
 #
 # bench_fastpath measures software-only issue overhead (Injection::none);
 # its numbers are NOT comparable to the figure benches, which run under the
@@ -20,13 +22,18 @@ cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build
 
 ./build/bench/bench_fastpath | tee BENCH_fastpath.json
+./build/bench/bench_datatype | tee BENCH_datatype.json
 ./build/bench/bench_fig4_latency
 
 if [ "${1:-}" = "--tsan" ]; then
   cmake -B build-tsan -G Ninja -DFOMPI_SANITIZE=thread
-  cmake --build build-tsan --target test_rdma test_lock
+  cmake --build build-tsan --target \
+    test_rdma test_lock test_datatype test_comm test_accumulate
   ./build-tsan/tests/test_rdma
   ./build-tsan/tests/test_lock
+  ./build-tsan/tests/test_datatype
+  ./build-tsan/tests/test_comm
+  ./build-tsan/tests/test_accumulate
 fi
 
 echo "bench smoke OK"

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Tier-1 CI gate: everything a change must pass before merging.
+#
+#   1. Release build + full ctest suite (the tier-1 gate from ROADMAP.md)
+#   2. ThreadSanitizer build + the concurrency-heavy tests (datatype
+#      flatten-cache sharing, RDMA issue paths, locks, comm, accumulate)
+#   3. Benchmark smoke run (bench_fastpath + bench_datatype JSON emission
+#      and one figure bench)
+#
+# Runs from any directory; everything lands in build/ and build-tsan/.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+cmake -B build-tsan -G Ninja -DFOMPI_SANITIZE=thread
+cmake --build build-tsan --target \
+  test_rdma test_lock test_datatype test_comm test_accumulate
+./build-tsan/tests/test_rdma
+./build-tsan/tests/test_lock
+./build-tsan/tests/test_datatype
+./build-tsan/tests/test_comm
+./build-tsan/tests/test_accumulate
+
+scripts/bench_smoke.sh
+
+echo "ci OK"

@@ -17,6 +17,10 @@ const char* to_string(Op op) noexcept {
     case Op::rkey_cache_hit:   return "rkey_cache_hit";
     case Op::rkey_cache_miss:  return "rkey_cache_miss";
     case Op::pool_grow:        return "pool_grow";
+    case Op::flatten_cache_hit:   return "flatten_cache_hit";
+    case Op::flatten_cache_build: return "flatten_cache_build";
+    case Op::vectored_op:      return "vectored_op";
+    case Op::packed_bytes:     return "packed_bytes";
     case Op::kCount:           break;
   }
   return "unknown";
@@ -26,6 +30,7 @@ std::uint64_t OpCounters::total_ops() const noexcept {
   std::uint64_t t = 0;
   for (std::size_t i = 0; i < c_.size(); ++i) {
     if (i == static_cast<std::size_t>(Op::bytes_copied)) continue;
+    if (i == static_cast<std::size_t>(Op::packed_bytes)) continue;
     t += c_[i];
   }
   return t;

@@ -28,6 +28,10 @@ enum class Op : std::uint32_t {
   rkey_cache_hit,    ///< rkey resolved from the NIC cache (no registry lock)
   rkey_cache_miss,   ///< rkey resolve took the registry's shared lock
   pool_grow,         ///< NIC completion/staging pool grew (heap allocation)
+  flatten_cache_hit,   ///< datatype lowering served from the cached blocks
+  flatten_cache_build, ///< one-time tree walk at datatype construction
+  vectored_op,       ///< one vectored (multi-fragment) NIC op issued
+  packed_bytes,      ///< bytes staged through the pack/unpack protocol
   kCount,
 };
 

@@ -8,6 +8,13 @@
 //     put it back, unlock. This serializes concurrent accumulates at the
 //     target but needs no receiver involvement (the paper's design; its
 //     latency/bandwidth trade-off is visible in Fig 6a).
+//
+// Datatype accumulates ride the same lowering machinery as put/get: the
+// allocation-free pair_layouts() walk, the hoisted target resolution for
+// static windows, and — for the fallback — one vectored get that gathers
+// every target fragment into the recycled combine buffer, one local
+// combine pass, and one vectored put that scatters the results back. All
+// temporary storage is per-Win scratch recycled across calls.
 #include "core/window.hpp"
 
 #include <cstring>
@@ -18,6 +25,16 @@
 #include "core/win_internal.hpp"
 
 namespace fompi::core {
+
+namespace {
+
+/// Notes an upcoming capacity growth of a recycled scratch vector (the
+/// steady-state accumulate path allocates nothing).
+void note_growth(std::size_t need, std::size_t capacity) {
+  if (need > capacity) count(Op::pool_grow);
+}
+
+}  // namespace
 
 void Win::acc_lock_acquire(int target) {
   Shared& s = sh();
@@ -46,8 +63,10 @@ void Win::accumulate_fallback(const void* origin, void* fetch,
   std::size_t off = 0;
   resolve_target(target, tdisp, len, &desc, &off);
   rdma::Nic& n = nic();
+  std::vector<std::byte>& tmp = st().acc_tmp;
+  note_growth(len, tmp.capacity());
+  tmp.resize(len);
   acc_lock_acquire(target);
-  std::vector<std::byte> tmp(len);
   n.get(target, desc, off, tmp.data(), len);
   if (fetch != nullptr) std::memcpy(fetch, tmp.data(), len);
   if (op != RedOp::no_op) {
@@ -95,47 +114,116 @@ void Win::accumulate(const void* origin, int ocount,
     accumulate(origin, len / esz, e, op, target, tdisp);
     return;
   }
-  std::vector<dt::Block> oblocks, tblocks;
-  otype.flatten(0, ocount, oblocks);
-  ttype.flatten(tdisp, tcount, tblocks);
   const auto* obase = static_cast<const std::byte*>(origin);
+  rdma::Nic& n = nic();
+  const bool dynamic = sh().kind == WinKind::dynamic;
 
   if (amo_accelerated(e, op)) {
-    rdma::Nic& n = nic();
     const rdma::AmoOp opcode = amo_opcode(op);
-    dt::pair_blocks(oblocks, tblocks,
-                    [&](std::size_t ooff, std::size_t toff, std::size_t len) {
-                      FOMPI_REQUIRE(len % esz == 0 && ooff % esz == 0,
-                                    ErrClass::type,
-                                    "accumulate: fragment splits an element");
-                      rdma::RegionDesc desc;
-                      std::size_t off = 0;
-                      resolve_target(target, toff, len, &desc, &off);
-                      for (std::size_t i = 0; i < len; i += 8) {
-                        std::uint64_t v;
-                        std::memcpy(&v, obase + ooff + i, 8);
-                        n.amo_nbi(target, desc, off + i, opcode, v);
-                      }
-                    });
+    if (!dynamic) {
+      // Static window: one descriptor covers every fragment's AMOs.
+      rdma::RegionDesc desc;
+      std::size_t off = 0;
+      if (tcount > 0) {
+        resolve_target(
+            target, tdisp,
+            static_cast<std::size_t>(tcount - 1) * ttype.extent() +
+                ttype.span_end(),
+            &desc, &off);
+      }
+      dt::pair_layouts(
+          otype, ocount, ttype, tcount, tdisp,
+          [&](std::size_t ooff, std::size_t toff, std::size_t len) {
+            FOMPI_REQUIRE(len % esz == 0 && ooff % esz == 0, ErrClass::type,
+                          "accumulate: fragment splits an element");
+            const std::size_t foff = off + (toff - tdisp);
+            for (std::size_t i = 0; i < len; i += 8) {
+              std::uint64_t v;
+              std::memcpy(&v, obase + ooff + i, 8);
+              n.amo_nbi(target, desc, foff + i, opcode, v);
+            }
+          });
+      return;
+    }
+    dt::pair_layouts(
+        otype, ocount, ttype, tcount, tdisp,
+        [&](std::size_t ooff, std::size_t toff, std::size_t len) {
+          FOMPI_REQUIRE(len % esz == 0 && ooff % esz == 0, ErrClass::type,
+                        "accumulate: fragment splits an element");
+          rdma::RegionDesc desc;
+          std::size_t off = 0;
+          resolve_target(target, toff, len, &desc, &off);
+          for (std::size_t i = 0; i < len; i += 8) {
+            std::uint64_t v;
+            std::memcpy(&v, obase + ooff + i, 8);
+            n.amo_nbi(target, desc, off + i, opcode, v);
+          }
+        });
     return;
   }
-  // Fallback: one lock around the whole transfer keeps the operation
-  // atomic as a unit, fragments move with get-combine-put.
-  rdma::Nic& n = nic();
+
+  RankState& rs = st();
+  if (!dynamic) {
+    // Fallback, static window: gather every target fragment with one
+    // vectored get into the packed combine buffer, reduce locally, scatter
+    // the results back with one vectored put — three network ops total
+    // under the single target lock instead of two per fragment.
+    rdma::RegionDesc desc;
+    std::size_t off = 0;
+    const std::size_t span =
+        tcount > 0 ? static_cast<std::size_t>(tcount - 1) * ttype.extent() +
+                         ttype.span_end()
+                   : 0;
+    resolve_target(target, tdisp, span, &desc, &off);
+    rs.frag_scratch.clear();
+    std::size_t packed = 0;
+    dt::pair_layouts(otype, ocount, ttype, tcount, tdisp,
+                     [&](std::size_t ooff, std::size_t toff, std::size_t len) {
+                       FOMPI_REQUIRE(len % esz == 0 && ooff % esz == 0,
+                                     ErrClass::type,
+                                     "accumulate: fragment splits an element");
+                       note_growth(rs.frag_scratch.size() + 1,
+                                   rs.frag_scratch.capacity());
+                       rs.frag_scratch.push_back({packed, toff - tdisp, len});
+                       packed += len;
+                     });
+    if (rs.frag_scratch.empty()) return;
+    note_growth(packed, rs.acc_tmp.capacity());
+    rs.acc_tmp.resize(packed);
+    acc_lock_acquire(target);
+    n.wait(n.get_nbv(target, desc, off, span, rs.acc_tmp.data(),
+                     rs.frag_scratch.data(), rs.frag_scratch.size()));
+    std::size_t pos = 0;
+    dt::pair_layouts(otype, ocount, ttype, tcount, tdisp,
+                     [&](std::size_t ooff, std::size_t, std::size_t len) {
+                       combine(e, op, rs.acc_tmp.data() + pos, obase + ooff,
+                               len / esz);
+                       pos += len;
+                     });
+    n.wait(n.put_nbv(target, desc, off, span, rs.acc_tmp.data(),
+                     rs.frag_scratch.data(), rs.frag_scratch.size()));
+    acc_lock_release(target);
+    return;
+  }
+
+  // Dynamic window: fragments may land in different attached regions, so
+  // each one resolves and moves individually, still under one lock.
   acc_lock_acquire(target);
-  std::vector<std::byte> tmp;
-  dt::pair_blocks(oblocks, tblocks,
-                  [&](std::size_t ooff, std::size_t toff, std::size_t len) {
-                    FOMPI_REQUIRE(len % esz == 0, ErrClass::type,
-                                  "accumulate: fragment splits an element");
-                    rdma::RegionDesc desc;
-                    std::size_t off = 0;
-                    resolve_target(target, toff, len, &desc, &off);
-                    tmp.resize(len);
-                    n.get(target, desc, off, tmp.data(), len);
-                    combine(e, op, tmp.data(), obase + ooff, len / esz);
-                    n.put(target, desc, off, tmp.data(), len);
-                  });
+  dt::pair_layouts(otype, ocount, ttype, tcount, tdisp,
+                   [&](std::size_t ooff, std::size_t toff, std::size_t len) {
+                     FOMPI_REQUIRE(len % esz == 0 && ooff % esz == 0,
+                                   ErrClass::type,
+                                   "accumulate: fragment splits an element");
+                     rdma::RegionDesc desc;
+                     std::size_t off = 0;
+                     resolve_target(target, toff, len, &desc, &off);
+                     note_growth(len, rs.acc_tmp.capacity());
+                     rs.acc_tmp.resize(len);
+                     n.get(target, desc, off, rs.acc_tmp.data(), len);
+                     combine(e, op, rs.acc_tmp.data(), obase + ooff,
+                             len / esz);
+                     n.put(target, desc, off, rs.acc_tmp.data(), len);
+                   });
   acc_lock_release(target);
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/buffer.hpp"
 #include "core/window.hpp"
+#include "rdma/nic.hpp"
 
 namespace fompi::core {
 
@@ -117,6 +118,13 @@ struct Win::RankState {
     std::size_t size;
   };
   std::map<const void*, Attached> attached;
+
+  // --- datatype-path scratch (recycled across calls) ------------------------
+  // Per-rank state needs no locking; capacity growth counts Op::pool_grow so
+  // steady-state issue loops can assert they allocate nothing.
+  std::vector<rdma::Frag> frag_scratch;  ///< fragment vector for *_nbv
+  std::vector<std::byte> dt_staging;          ///< pack/unpack staging buffer
+  std::vector<std::byte> acc_tmp;             ///< accumulate combine buffer
 };
 
 }  // namespace fompi::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/instr.hpp"
+
 namespace fompi::dt {
 
 struct Datatype::Node {
@@ -26,6 +28,14 @@ struct Datatype::Node {
     std::shared_ptr<const Node> type;
   };
   std::vector<Piece> pieces;
+
+  // Flatten cache: the minimal block list of ONE element based at byte 0,
+  // computed by the single tree walk in finalize(). Nodes are immutable
+  // after construction, so concurrent readers share this without
+  // synchronization. flatten()/pair_layouts() replicate these blocks per
+  // element instead of re-walking the tree.
+  std::vector<Block> blocks;
+  std::size_t span_end = 0;  // max(offset + len) over `blocks`
 };
 
 namespace {
@@ -90,19 +100,71 @@ void flatten_node(const Datatype::Node& n, std::ptrdiff_t offset,
   }
 }
 
-/// Computes derived metadata (size/lb/extent assumed filled) and the
-/// contiguity flag by flattening a single element.
+/// Computes derived metadata (size/lb/extent assumed filled), the contiguity
+/// flag, and the cached one-element block list — the one tree walk this type
+/// will ever perform.
 void finalize(Datatype::Node& n) {
+  count(Op::flatten_cache_build);
   std::vector<Block> one;
   flatten_node(n, 0, one);
   std::size_t payload = 0;
-  for (const auto& b : one) payload += b.len;
+  std::size_t span = 0;
+  for (const auto& b : one) {
+    payload += b.len;
+    span = std::max(span, b.offset + b.len);
+  }
   FOMPI_REQUIRE(payload == n.size, ErrClass::internal,
                 "datatype size bookkeeping mismatch");
   n.contig = one.size() == 1 && !one.empty() && one[0].offset == 0 &&
              one[0].len == n.size && n.extent == n.size && n.lb == 0;
   if (n.size == 0) n.contig = n.extent == 0 && n.lb == 0;
+  n.blocks = std::move(one);
+  n.span_end = span;
 }
+
+/// Stateful walk over the fragments of `count` elements of a type based at
+/// `base`, replicating the node's cached block list per element. next()
+/// yields maximal contiguous runs: a run absorbs any successor block that
+/// starts exactly at its end (the cross-element merge flatten() performs),
+/// so the produced fragments match flatten()+pair_blocks exactly.
+struct LayoutCursor {
+  const Block* blocks;
+  std::size_t nblocks;
+  std::size_t extent;
+  int remaining;  // elements not yet entered
+  std::size_t elem_base;
+
+  LayoutCursor(const Datatype::Node& n, std::size_t base, int cnt)
+      : blocks(n.blocks.data()),
+        nblocks(n.blocks.size()),
+        extent(n.extent),
+        remaining(nblocks == 0 ? 0 : cnt),
+        elem_base(base),
+        b_(0) {}
+
+  bool next(Block* out) {
+    if (remaining <= 0) return false;
+    out->offset = elem_base + blocks[b_].offset;
+    out->len = blocks[b_].len;
+    advance();
+    while (remaining > 0 &&
+           elem_base + blocks[b_].offset == out->offset + out->len) {
+      out->len += blocks[b_].len;
+      advance();
+    }
+    return true;
+  }
+
+ private:
+  void advance() {
+    if (++b_ == nblocks) {
+      b_ = 0;
+      --remaining;
+      elem_base += extent;
+    }
+  }
+  std::size_t b_;
+};
 
 }  // namespace
 
@@ -276,6 +338,8 @@ std::size_t Datatype::size() const { return node().size; }
 std::size_t Datatype::extent() const { return node().extent; }
 std::ptrdiff_t Datatype::lb() const { return node().lb; }
 bool Datatype::is_contiguous() const { return node().contig; }
+std::size_t Datatype::block_count() const { return node().blocks.size(); }
+std::size_t Datatype::span_end() const { return node().span_end; }
 
 std::string Datatype::describe() const {
   const auto& n = node();
@@ -287,26 +351,33 @@ void Datatype::flatten(std::size_t base, int count,
                        std::vector<Block>& out) const {
   const auto& n = node();
   FOMPI_REQUIRE(count >= 0, ErrClass::type, "flatten: negative count");
+  fompi::count(Op::flatten_cache_hit);
   if (n.contig) {
     emit_block(out, static_cast<std::ptrdiff_t>(base),
                static_cast<std::size_t>(count) * n.size);
     return;
   }
+  // Replicate the cached one-element list; emit_block re-merges across
+  // element boundaries exactly like the tree walk did.
   for (int e = 0; e < count; ++e) {
-    flatten_node(n,
-                 static_cast<std::ptrdiff_t>(base) +
-                     e * static_cast<std::ptrdiff_t>(n.extent),
-                 out);
+    const std::size_t elem_base = base + static_cast<std::size_t>(e) * n.extent;
+    for (const Block& b : n.blocks) {
+      emit_block(out, static_cast<std::ptrdiff_t>(elem_base + b.offset),
+                 b.len);
+    }
   }
 }
 
 std::size_t Datatype::pack(const void* src, int count, void* dst) const {
-  std::vector<Block> blocks;
-  flatten(0, count, blocks);
+  const auto& n = node();
+  FOMPI_REQUIRE(count >= 0, ErrClass::type, "pack: negative count");
+  fompi::count(Op::flatten_cache_hit);
   auto* out = static_cast<std::byte*>(dst);
   const auto* in = static_cast<const std::byte*>(src);
   std::size_t pos = 0;
-  for (const auto& b : blocks) {
+  LayoutCursor cur(n, 0, count);
+  Block b;
+  while (cur.next(&b)) {
     std::memcpy(out + pos, in + b.offset, b.len);
     pos += b.len;
   }
@@ -314,12 +385,15 @@ std::size_t Datatype::pack(const void* src, int count, void* dst) const {
 }
 
 std::size_t Datatype::unpack(const void* src, int count, void* dst) const {
-  std::vector<Block> blocks;
-  flatten(0, count, blocks);
+  const auto& n = node();
+  FOMPI_REQUIRE(count >= 0, ErrClass::type, "unpack: negative count");
+  fompi::count(Op::flatten_cache_hit);
   const auto* in = static_cast<const std::byte*>(src);
   auto* out = static_cast<std::byte*>(dst);
   std::size_t pos = 0;
-  for (const auto& b : blocks) {
+  LayoutCursor cur(n, 0, count);
+  Block b;
+  while (cur.next(&b)) {
     std::memcpy(out + b.offset, in + pos, b.len);
     pos += b.len;
   }
@@ -327,9 +401,7 @@ std::size_t Datatype::unpack(const void* src, int count, void* dst) const {
 }
 
 void pair_blocks(const std::vector<Block>& origin,
-                 const std::vector<Block>& target,
-                 const std::function<void(std::size_t, std::size_t,
-                                          std::size_t)>& fn) {
+                 const std::vector<Block>& target, FragmentRef fn) {
   std::size_t oi = 0, ti = 0;   // block indices
   std::size_t opos = 0, tpos = 0;  // consumed bytes within current block
   while (oi < origin.size() && ti < target.size()) {
@@ -350,6 +422,38 @@ void pair_blocks(const std::vector<Block>& origin,
   }
   FOMPI_REQUIRE(oi == origin.size() && ti == target.size(), ErrClass::type,
                 "origin and target datatypes carry different payload sizes");
+}
+
+void pair_layouts(const Datatype& otype, int ocount, const Datatype& ttype,
+                  int tcount, std::size_t tdisp, FragmentRef fn) {
+  const Datatype::Node& on = otype.node();
+  const Datatype::Node& tn = ttype.node();
+  FOMPI_REQUIRE(ocount >= 0 && tcount >= 0, ErrClass::type,
+                "pair_layouts: negative count");
+  FOMPI_REQUIRE(on.size * static_cast<std::size_t>(ocount) ==
+                    tn.size * static_cast<std::size_t>(tcount),
+                ErrClass::type,
+                "origin and target datatypes carry different payload sizes");
+  count(Op::flatten_cache_hit, 2);
+  LayoutCursor ocur(on, 0, ocount);
+  LayoutCursor tcur(tn, tdisp, tcount);
+  Block ob{0, 0}, tb{0, 0};
+  bool ohave = ocur.next(&ob), thave = tcur.next(&tb);
+  std::size_t opos = 0, tpos = 0;
+  while (ohave && thave) {
+    const std::size_t frag = std::min(ob.len - opos, tb.len - tpos);
+    fn(ob.offset + opos, tb.offset + tpos, frag);
+    opos += frag;
+    tpos += frag;
+    if (opos == ob.len) {
+      ohave = ocur.next(&ob);
+      opos = 0;
+    }
+    if (tpos == tb.len) {
+      thave = tcur.next(&tb);
+      tpos = 0;
+    }
+  }
 }
 
 }  // namespace fompi::dt

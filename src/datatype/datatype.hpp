@@ -9,6 +9,13 @@
 // (offset, length) blocks; pair_blocks() walks an origin and a target block
 // list in lockstep, yielding the per-transfer fragments.
 //
+// Like MPITypes' precomputed representations, the one-element block list is
+// computed once at type construction and cached on the immutable node;
+// flatten() and the allocation-free pair_layouts() walk replicate the cached
+// blocks per element instead of re-walking the tree. Every use of the cache
+// counts Op::flatten_cache_hit (builds count Op::flatten_cache_build), so
+// benches can assert a 100% steady-state hit rate.
+//
 // The contiguous fast path the paper emphasizes (intrinsic types like
 // MPI_DOUBLE add only ~173 instructions) corresponds to is_contiguous():
 // callers skip flattening entirely and issue a single transfer.
@@ -19,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -30,6 +38,31 @@ struct Block {
   std::size_t offset;  ///< byte offset from the layout base
   std::size_t len;     ///< length in bytes
   friend bool operator==(const Block&, const Block&) = default;
+};
+
+/// Non-owning callback reference (a `function_ref`): the zero-allocation
+/// replacement for `std::function` on the fragment lowering path. Binds any
+/// callable invocable as fn(origin_off, target_off, len); the referee must
+/// outlive the call (always true for the issue-loop lambdas it carries).
+class FragmentRef {
+ public:
+  template <class F,
+            class = std::enable_if_t<!std::is_same_v<std::decay_t<F>,
+                                                     FragmentRef>>>
+  FragmentRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, std::size_t o, std::size_t t, std::size_t l) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(o, t, l);
+        }) {}
+
+  void operator()(std::size_t origin_off, std::size_t target_off,
+                  std::size_t len) const {
+    call_(obj_, origin_off, target_off, len);
+  }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, std::size_t, std::size_t, std::size_t);
 };
 
 class Datatype {
@@ -94,11 +127,20 @@ class Datatype {
   /// True if `count` elements occupy one gap-free block from offset 0 —
   /// the fast-path condition.
   bool is_contiguous() const;
+  /// Number of contiguous blocks one element flattens to (cached).
+  std::size_t block_count() const;
+  /// Highest byte touched by one element based at offset 0: max over the
+  /// cached blocks of offset + len. For `count` elements the touched span
+  /// ends at (count - 1) * extent() + span_end() — the single bounds check
+  /// that replaces per-fragment range validation.
+  std::size_t span_end() const;
   std::string describe() const;
 
   // --- lowering ----------------------------------------------------------------
   /// Appends the minimal contiguous block list for `count` elements based
-  /// at byte offset `base` to `out` (adjacent blocks are merged).
+  /// at byte offset `base` to `out` (adjacent blocks are merged). Served
+  /// from the node's cached one-element list; the tree is walked only once,
+  /// at construction.
   void flatten(std::size_t base, int count, std::vector<Block>& out) const;
 
   /// Packs `count` elements laid out at `src` into contiguous `dst`.
@@ -111,6 +153,8 @@ class Datatype {
   struct Node;
 
  private:
+  friend void pair_layouts(const Datatype&, int, const Datatype&, int,
+                           std::size_t, FragmentRef);
   explicit Datatype(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
   const Node& node() const;
 
@@ -121,8 +165,14 @@ class Datatype {
 /// fn(origin_offset, target_offset, fragment_len) for every fragment that is
 /// contiguous on both sides. Raises FOMPI_ERR_TYPE on payload mismatch.
 void pair_blocks(const std::vector<Block>& origin,
-                 const std::vector<Block>& target,
-                 const std::function<void(std::size_t, std::size_t,
-                                          std::size_t)>& fn);
+                 const std::vector<Block>& target, FragmentRef fn);
+
+/// Allocation-free lockstep lowering: yields exactly the fragments that
+/// flatten(0, ocount) / flatten(tdisp, tcount) + pair_blocks() would, but
+/// walks the cached one-element block lists directly — no block vectors are
+/// materialized and nothing is heap-allocated. This is the hot entry point
+/// of the communication layer's datatype path.
+void pair_layouts(const Datatype& otype, int ocount, const Datatype& ttype,
+                  int tcount, std::size_t tdisp, FragmentRef fn);
 
 }  // namespace fompi::dt

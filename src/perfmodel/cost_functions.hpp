@@ -18,6 +18,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 namespace fompi::perf {
 
@@ -65,6 +66,50 @@ struct PaperModel {
   /// P_fence > P_post + P_complete + P_start + P_wait.
   bool pscw_beats_fence(int nprocs, int k) const noexcept {
     return fence_us(nprocs) > pscw_round_us(k);
+  }
+};
+
+/// Per-call strategy chooser for the non-contiguous datatype path (Sec 2.4).
+///
+/// When the remote side of a transfer is one contiguous block, the origin
+/// layout can either be shipped as a vectored NIC op (chained descriptors
+/// behind one doorbell, `chain_ns` per extra fragment) or staged through a
+/// pack/unpack buffer (one contiguous transfer plus a local copy of every
+/// payload byte). Packing wins when fragments are small and numerous; the
+/// vector wins when fragments are few or large. The constants mirror
+/// rdma::NetworkModel::vec_chain_ns plus a memcpy-rate estimate, so the
+/// choice tracks the modeled hardware rather than a fixed fragment-count
+/// threshold.
+struct DatatypePathModel {
+  enum class Strategy : std::uint8_t { vectored, pack };
+
+  double chain_ns = 45.0;        ///< per chained fragment beyond the first
+  double pack_byte_ns = 0.25;    ///< local gather/scatter cost per byte
+  double pack_setup_ns = 120.0;  ///< staging-buffer bookkeeping per call
+  /// A packed get cannot unpack until the data lands, so it completes the
+  /// transfer eagerly and forfeits communication overlap; require this
+  /// margin before preferring it over a vectored get.
+  double get_pack_bias = 4.0;
+
+  double vectored_ns(std::size_t nfrags) const noexcept {
+    return nfrags > 1 ? chain_ns * static_cast<double>(nfrags - 1) : 0.0;
+  }
+  double pack_ns(std::size_t payload_bytes) const noexcept {
+    return pack_setup_ns + pack_byte_ns * static_cast<double>(payload_bytes);
+  }
+
+  /// Put with a contiguous target: gather-and-send vs chained fragments.
+  Strategy choose_put(std::size_t nfrags,
+                      std::size_t payload_bytes) const noexcept {
+    return pack_ns(payload_bytes) < vectored_ns(nfrags) ? Strategy::pack
+                                                        : Strategy::vectored;
+  }
+  /// Get with a contiguous target: fetch-and-unpack vs chained fragments.
+  Strategy choose_get(std::size_t nfrags,
+                      std::size_t payload_bytes) const noexcept {
+    return pack_ns(payload_bytes) * get_pack_bias < vectored_ns(nfrags)
+               ? Strategy::pack
+               : Strategy::vectored;
   }
 };
 

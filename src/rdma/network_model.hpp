@@ -62,6 +62,36 @@ struct NetworkModel {
   /// Remote AMO completion latency (8-byte operand).
   double amo_latency_ns() const noexcept { return amo_base_ns; }
 
+  // --- vectored (chained-descriptor) transfers ----------------------------
+  // Gemini FMA descriptors can be chained behind a single doorbell: a
+  // vectored op pays the base latency once plus a small per-descriptor
+  // chain cost, instead of the full base latency per fragment. This is the
+  // hardware mechanism the datatype path exploits (Sec 2.4).
+  double vec_chain_ns = 45.0;  ///< each chained fragment beyond the first
+
+  /// Completion latency of a vectored put: `nfrags` chained fragments
+  /// totalling `total_bytes` behind one doorbell.
+  double put_vec_latency_ns(std::size_t nfrags,
+                            std::size_t total_bytes) const noexcept {
+    const double chain =
+        nfrags > 1 ? vec_chain_ns * static_cast<double>(nfrags - 1) : 0.0;
+    return put_latency_ns(total_bytes) + chain;
+  }
+
+  double get_vec_latency_ns(std::size_t nfrags,
+                            std::size_t total_bytes) const noexcept {
+    const double chain =
+        nfrags > 1 ? vec_chain_ns * static_cast<double>(nfrags - 1) : 0.0;
+    return get_latency_ns(total_bytes) + chain;
+  }
+
+  double intra_vec_latency_ns(std::size_t nfrags,
+                              std::size_t total_bytes) const noexcept {
+    const double chain =
+        nfrags > 1 ? vec_chain_ns * static_cast<double>(nfrags - 1) : 0.0;
+    return intra_latency_ns(total_bytes) + chain;
+  }
+
   double intra_latency_ns(std::size_t bytes) const noexcept {
     return intra_base_ns + intra_byte_ns * static_cast<double>(bytes);
   }

@@ -107,6 +107,28 @@ void Nic::PendingOp::stage_payload(const void* src, std::size_t n) {
                 static_cast<const std::byte*>(src) + n);
 }
 
+void Nic::PendingOp::stage_vector(const std::byte* local_base,
+                                  const Frag* frags, std::size_t nfrags,
+                                  std::size_t total, bool gather) {
+  if (nfrags > frags_.capacity()) count(Op::pool_grow);
+  frags_.assign(frags, frags + nfrags);
+  if (!gather) return;  // gets carry no payload at issue
+  staged_len = total;
+  std::byte* dst;
+  if (total <= kInlineStage) {
+    dst = stage_.data();
+  } else {
+    if (total > spill_.capacity()) count(Op::pool_grow);
+    spill_.resize(total);
+    dst = spill_.data();
+  }
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < nfrags; ++i) {
+    std::memcpy(dst + pos, local_base + frags[i].local_off, frags[i].len);
+    pos += frags[i].len;
+  }
+}
+
 void Nic::apply_direct(const OpReq& req, std::byte* remote) {
   switch (req.kind) {
     case PendingOp::Kind::put:
@@ -131,6 +153,25 @@ void Nic::apply_direct(const OpReq& req, std::byte* remote) {
 void Nic::apply(PendingOp& op) {
   if (op.applied) return;
   op.applied = true;
+  if (!op.frags_.empty()) {
+    // Deferred vectored op: scatter the gathered put payload / fetch every
+    // get fragment now that the vector completes as one unit.
+    if (op.kind == PendingOp::Kind::put) {
+      std::size_t pos = 0;
+      const std::byte* staged = op.staged_data();
+      for (const Frag& f : op.frags_) {
+        place_bytes(op.remote + f.remote_off, staged + pos, f.len);
+        pos += f.len;
+      }
+    } else {
+      auto* lbase = static_cast<std::byte*>(op.local);
+      for (const Frag& f : op.frags_) {
+        fetch_bytes(lbase + f.local_off, op.remote + f.remote_off, f.len);
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+    return;
+  }
   switch (op.kind) {
     case PendingOp::Kind::put:
       if (op.staged_len != 0) {
@@ -325,6 +366,134 @@ Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
     return kDoneHandle;
   }
   return encode(idx, slab_[idx].tag);
+}
+
+Handle Nic::issue_vec(int target, const RegionDesc& rd, std::size_t base_off,
+                      std::size_t span_len, PendingOp::Kind kind,
+                      void* local_base, const Frag* frags, std::size_t nfrags,
+                      bool implicit) {
+  if (nfrags == 0) return kDoneHandle;
+  const DomainConfig& cfg = domain_.config();
+  const bool inter = inter_node(target);
+  // One rkey resolution and one bounds check cover every fragment: the
+  // caller passes the span [base_off, base_off + span_len) the vector
+  // touches (fragment offsets are relative to base_off).
+  std::byte* remote = resolve_cached(rd.rkey, target, base_off, span_len);
+
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < nfrags; ++i) total += frags[i].len;
+
+  // One doorbell: a single transport op regardless of fragment count.
+  count(kind == PendingOp::Kind::put ? Op::transport_put : Op::transport_get);
+  count(Op::vectored_op);
+  if (total != 0) count(Op::bytes_copied, total);
+
+  std::uint64_t complete_at = 0;
+  if (cfg.inject == Injection::model) {
+    const NetworkModel& m = cfg.model;
+    double overhead_ns = 0.0;
+    double latency_ns = 0.0;
+    if (inter) {
+      overhead_ns = m.inter_overhead_ns;
+      latency_ns = kind == PendingOp::Kind::put
+                       ? m.put_vec_latency_ns(nfrags, total)
+                       : m.get_vec_latency_ns(nfrags, total);
+    } else {
+      overhead_ns = m.intra_overhead_ns;
+      latency_ns = m.intra_vec_latency_ns(nfrags, total);
+    }
+    const double scale = cfg.time_scale;
+    const std::uint64_t issue_start = now_ns();
+    spin_for_ns(static_cast<std::uint64_t>(overhead_ns * scale));
+    complete_at = issue_start + static_cast<std::uint64_t>(latency_ns * scale);
+    latest_complete_at_ = std::max(latest_complete_at_, complete_at);
+  }
+
+  const bool defer = inter && cfg.delivery == Delivery::deferred;
+  if (!defer) {
+    auto* lbase = static_cast<std::byte*>(local_base);
+    if (kind == PendingOp::Kind::put) {
+      for (std::size_t i = 0; i < nfrags; ++i) {
+        place_bytes(remote + frags[i].remote_off, lbase + frags[i].local_off,
+                    frags[i].len);
+      }
+    } else {
+      for (std::size_t i = 0; i < nfrags; ++i) {
+        fetch_bytes(lbase + frags[i].local_off, remote + frags[i].remote_off,
+                    frags[i].len);
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+    if (implicit) {
+      ++implicit_live_;
+      return kDoneHandle;
+    }
+    if (cfg.inject == Injection::model) {
+      const std::uint32_t idx = acquire_slot();
+      PendingOp& op = slab_[idx].op;
+      op.kind = kind;
+      op.implicit = false;
+      op.applied = true;
+      op.len = 0;
+      op.complete_at = complete_at;
+      return encode(idx, slab_[idx].tag);
+    }
+    return kDoneHandle;
+  }
+
+  // Deferred: one pooled record covers the whole vector; a put gathers its
+  // fragment payloads into the staging buffer at issue (the NIC has
+  // "already DMA-read" the source, as for contiguous deferred puts).
+  std::uint32_t idx = kNoSlot;
+  PendingOp* op;
+  if (implicit) {
+    op = &acquire_implicit();
+  } else {
+    idx = acquire_slot();
+    op = &slab_[idx].op;
+  }
+  op->kind = kind;
+  op->implicit = implicit;
+  op->remote = remote;
+  op->local = local_base;
+  op->len = total;
+  op->complete_at = complete_at;
+  op->stage_vector(static_cast<const std::byte*>(local_base), frags, nfrags,
+                   total, /*gather=*/kind == PendingOp::Kind::put);
+  if (implicit) {
+    ++implicit_live_;
+    return kDoneHandle;
+  }
+  return encode(idx, slab_[idx].tag);
+}
+
+Handle Nic::put_nbv(int target, const RegionDesc& rd, std::size_t base_off,
+                    std::size_t span_len, const void* local_base,
+                    const Frag* frags, std::size_t nfrags) {
+  return issue_vec(target, rd, base_off, span_len, PendingOp::Kind::put,
+                   const_cast<void*>(local_base), frags, nfrags,
+                   /*implicit=*/false);
+}
+
+Handle Nic::get_nbv(int target, const RegionDesc& rd, std::size_t base_off,
+                    std::size_t span_len, void* local_base, const Frag* frags,
+                    std::size_t nfrags) {
+  return issue_vec(target, rd, base_off, span_len, PendingOp::Kind::get,
+                   local_base, frags, nfrags, /*implicit=*/false);
+}
+
+void Nic::put_nbiv(int target, const RegionDesc& rd, std::size_t base_off,
+                   std::size_t span_len, const void* local_base,
+                   const Frag* frags, std::size_t nfrags) {
+  issue_vec(target, rd, base_off, span_len, PendingOp::Kind::put,
+            const_cast<void*>(local_base), frags, nfrags, /*implicit=*/true);
+}
+
+void Nic::get_nbiv(int target, const RegionDesc& rd, std::size_t base_off,
+                   std::size_t span_len, void* local_base, const Frag* frags,
+                   std::size_t nfrags) {
+  issue_vec(target, rd, base_off, span_len, PendingOp::Kind::get, local_base,
+            frags, nfrags, /*implicit=*/true);
 }
 
 Handle Nic::put_nb(int target, const RegionDesc& rd, std::size_t offset,

@@ -56,6 +56,16 @@ class Domain;
 using Handle = std::uint64_t;
 inline constexpr Handle kDoneHandle = 0;
 
+/// One fragment of a vectored transfer (one chained FMA descriptor).
+/// Offsets are relative to the op's local base pointer and to the op's
+/// remote base offset, so one rkey resolution and one bounds check cover
+/// the whole vector.
+struct Frag {
+  std::size_t local_off;
+  std::size_t remote_off;
+  std::size_t len;
+};
+
 class Nic {
  public:
   Nic(Domain& domain, int rank);
@@ -82,6 +92,27 @@ class Nic {
                void* dst, std::size_t len);
   void amo_nbi(int target, const RegionDesc& rd, std::size_t offset, AmoOp op,
                std::uint64_t operand, std::uint64_t compare = 0);
+
+  // --- vectored (multi-fragment, single doorbell) --------------------------
+  // The NIC analogue of chained Gemini FMA descriptors: every fragment of
+  // `frags` moves in one operation that charges the software/doorbell
+  // overhead once plus a per-fragment chain cost on the wire, and completes
+  // through ONE handle (or one implicit op). `base_off` / `span_len` bound
+  // the remote bytes the vector touches: rkey resolution and the range
+  // check happen once, not per fragment. Fragment offsets are relative to
+  // `local_base` and `base_off`.
+  Handle put_nbv(int target, const RegionDesc& rd, std::size_t base_off,
+                 std::size_t span_len, const void* local_base,
+                 const Frag* frags, std::size_t nfrags);
+  Handle get_nbv(int target, const RegionDesc& rd, std::size_t base_off,
+                 std::size_t span_len, void* local_base, const Frag* frags,
+                 std::size_t nfrags);
+  void put_nbiv(int target, const RegionDesc& rd, std::size_t base_off,
+                std::size_t span_len, const void* local_base,
+                const Frag* frags, std::size_t nfrags);
+  void get_nbiv(int target, const RegionDesc& rd, std::size_t base_off,
+                std::size_t span_len, void* local_base, const Frag* frags,
+                std::size_t nfrags);
 
   // --- blocking ------------------------------------------------------------
   void put(int target, const RegionDesc& rd, std::size_t offset,
@@ -138,19 +169,26 @@ class Nic {
     std::size_t staged_len = 0;  // deferred put payload length
     alignas(8) std::array<std::byte, kInlineStage> stage_{};
     std::vector<std::byte> spill_;  // payloads > kInlineStage only
+    std::vector<Frag> frags_;  // vectored-op fragments (capacity recycled)
 
     /// Copies a deferred put payload; spills to the heap only above
     /// kInlineStage, reusing the slot's previous spill capacity.
     void stage_payload(const void* src, std::size_t n);
+    /// Gathers the fragments of a deferred vectored put into the staging
+    /// buffer (fragment payloads land back-to-back) and records the
+    /// fragment list; capacity is recycled with the slot.
+    void stage_vector(const std::byte* local_base, const Frag* frags,
+                      std::size_t nfrags, std::size_t total, bool gather);
     const std::byte* staged_data() const noexcept {
       return staged_len <= kInlineStage ? stage_.data() : spill_.data();
     }
-    /// Clears per-op state but keeps the spill capacity for recycling.
+    /// Clears per-op state but keeps spill/fragment capacity for recycling.
     void reset() noexcept {
       applied = false;
       fetch_out = nullptr;
       staged_len = 0;
       complete_at = 0;
+      frags_.clear();
     }
   };
 
@@ -194,6 +232,11 @@ class Nic {
   /// Issues one op; returns kDoneHandle when it completed at issue.
   Handle issue(int target, const RegionDesc& rd, std::size_t offset,
                const OpReq& req, bool implicit);
+  /// Issues one vectored (multi-fragment) op behind a single doorbell.
+  Handle issue_vec(int target, const RegionDesc& rd, std::size_t base_off,
+                   std::size_t span_len, PendingOp::Kind kind,
+                   void* local_base, const Frag* frags, std::size_t nfrags,
+                   bool implicit);
   void apply(PendingOp& op);
   /// Applies an op straight from its request, with no pooled record.
   void apply_direct(const OpReq& req, std::byte* remote);

@@ -3,8 +3,10 @@
 // concurrency (linearizability property tests).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 
+#include "common/instr.hpp"
 #include "core/window.hpp"
 
 using namespace fompi;
@@ -257,6 +259,74 @@ TEST(Accumulate, MixedAcceleratedAndFallbackTargetsDistinctWords) {
       EXPECT_EQ(u[0], static_cast<std::uint64_t>(10 * p));
       EXPECT_DOUBLE_EQ(d[0], 5.0 * p);
     }
+    win.free();
+  });
+}
+
+TEST(Accumulate, DatatypeFallbackStridedSum) {
+  // Non-contiguous f64 accumulate rides the fallback protocol's vectored
+  // gather/combine/scatter: values land elementwise, gaps stay untouched.
+  const int p = 3;
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 512);
+    if (ctx.rank() == 0) {
+      auto* d = static_cast<double*>(win.base());
+      for (int i = 0; i < 16; ++i) d[i] = (i % 2 == 0) ? 1.0 : -9.0;
+    }
+    ctx.barrier();
+    const dt::Datatype strided =
+        dt::Datatype::vector(8, 1, 2, dt::Datatype::f64());
+    const dt::Datatype contig =
+        dt::Datatype::contiguous(8, dt::Datatype::f64());
+    std::array<double, 8> vals{};
+    vals.fill(0.25);
+    win.lock_all();
+    win.accumulate(vals.data(), 1, contig, Elem::f64, RedOp::sum,
+                   0, 0, 1, strided);
+    win.flush(0);
+    win.unlock_all();
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      win.sync();
+      auto* d = static_cast<double*>(win.base());
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_DOUBLE_EQ(d[2 * i], 1.0 + 0.25 * p) << "element " << i;
+        EXPECT_DOUBLE_EQ(d[2 * i + 1], -9.0) << "gap " << i;
+      }
+    }
+    win.free();
+  });
+}
+
+TEST(Accumulate, FallbackSteadyStateIsAllocationFree) {
+  // The fallback's combine buffer and the datatype path's fragment list are
+  // per-window scratch: after warmup, repeated accumulates allocate nothing.
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    Win win = Win::allocate(ctx, 4096);
+    const dt::Datatype strided =
+        dt::Datatype::vector(16, 1, 2, dt::Datatype::f64());
+    const dt::Datatype contig =
+        dt::Datatype::contiguous(16, dt::Datatype::f64());
+    std::array<double, 16> vals{};
+    vals.fill(1.0);
+    double fetched[16] = {0};
+    win.lock_all();
+    auto cycle = [&] {
+      win.accumulate(vals.data(), 16, Elem::f64, RedOp::sum, 0,
+                     0);
+      win.accumulate(vals.data(), 1, contig, Elem::f64,
+                     RedOp::min, 0, 512, 1, strided);
+      win.get_accumulate(vals.data(), fetched, 16, Elem::f64,
+                         RedOp::sum, 0, 1024);
+    };
+    for (int i = 0; i < 8; ++i) cycle();  // warm scratch buffers
+
+    const OpCounters before = op_counters();
+    for (int i = 0; i < 500; ++i) cycle();
+    const OpCounters delta = op_counters().since(before);
+    EXPECT_EQ(delta.get(Op::pool_grow), 0u) << "steady state allocated";
+    EXPECT_EQ(delta.get(Op::flatten_cache_build), 0u);
+    win.unlock_all();
     win.free();
   });
 }

@@ -2,9 +2,12 @@
 // round-trips, block pairing.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstring>
 #include <numeric>
+#include <thread>
 
+#include "common/instr.hpp"
 #include "common/rng.hpp"
 #include "datatype/datatype.hpp"
 
@@ -243,6 +246,148 @@ TEST(Datatype, ZeroCountFlattensToNothing) {
   EXPECT_EQ(empty.size(), 0u);
 }
 
+// --- flatten cache ----------------------------------------------------------
+
+TEST(Datatype, FlattenCacheBuildsOnceAndServesEveryLowering) {
+  const fompi::OpCounters before_build = fompi::op_counters();
+  const Datatype d = Datatype::vector(3, 2, 4, Datatype::i32());
+  const fompi::OpCounters built = fompi::op_counters().since(before_build);
+  EXPECT_GE(built.get(fompi::Op::flatten_cache_build), 1u);
+
+  // Every lowering after construction is a cache hit; the tree is never
+  // walked again.
+  const fompi::OpCounters before = fompi::op_counters();
+  std::vector<Block> blocks;
+  d.flatten(0, 4, blocks);
+  std::vector<std::byte> src(d.extent() * 4), packed(d.size() * 4);
+  d.pack(src.data(), 4, packed.data());
+  d.unpack(packed.data(), 4, src.data());
+  const fompi::OpCounters delta = fompi::op_counters().since(before);
+  EXPECT_EQ(delta.get(fompi::Op::flatten_cache_hit), 3u);
+  EXPECT_EQ(delta.get(fompi::Op::flatten_cache_build), 0u);
+}
+
+TEST(Datatype, BlockCountAndSpanEnd) {
+  const Datatype v = Datatype::vector(3, 2, 4, Datatype::i32());
+  EXPECT_EQ(v.block_count(), 3u);
+  EXPECT_EQ(v.span_end(), 40u);  // last block at 32, 8 bytes long
+  const Datatype c = Datatype::contiguous(4, Datatype::f64());
+  EXPECT_EQ(c.block_count(), 1u);
+  EXPECT_EQ(c.span_end(), 32u);
+  // The documented span formula bounds every byte of a multi-element
+  // flatten.
+  std::vector<Block> blocks;
+  v.flatten(0, 3, blocks);
+  std::size_t hi = 0;
+  for (const auto& b : blocks) hi = std::max(hi, b.offset + b.len);
+  EXPECT_EQ(hi, 2 * v.extent() + v.span_end());
+}
+
+TEST(Datatype, ConcurrentSharedTypeLowering) {
+  // The cached block list is computed at construction on an immutable node,
+  // so one Datatype value can serve many threads with no locking. Run under
+  // -DFOMPI_SANITIZE=thread to prove it.
+  const Datatype d = Datatype::vector(8, 3, 5, Datatype::i32());
+  std::vector<std::int32_t> src(8 * 5 * 2);
+  std::iota(src.begin(), src.end(), 0);
+  std::vector<std::byte> reference(d.size() * 2);
+  d.pack(src.data(), 2, reference.data());
+  std::vector<Block> ref_blocks;
+  d.flatten(16, 2, ref_blocks);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        std::vector<Block> blocks;
+        d.flatten(16, 2, blocks);
+        ASSERT_EQ(blocks, ref_blocks);
+        std::vector<std::byte> packed(d.size() * 2);
+        d.pack(src.data(), 2, packed.data());
+        ASSERT_EQ(std::memcmp(packed.data(), reference.data(), packed.size()),
+                  0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+// --- pair_layouts -----------------------------------------------------------
+
+namespace {
+
+using FragList = std::vector<std::array<std::size_t, 3>>;
+
+FragList frags_via_pair_blocks(const Datatype& o, int ocount,
+                               const Datatype& t, int tcount,
+                               std::size_t tdisp) {
+  std::vector<Block> ob, tb;
+  o.flatten(0, ocount, ob);
+  t.flatten(tdisp, tcount, tb);
+  FragList out;
+  dt::pair_blocks(ob, tb, [&](std::size_t oo, std::size_t to, std::size_t l) {
+    out.push_back({oo, to, l});
+  });
+  return out;
+}
+
+FragList frags_via_pair_layouts(const Datatype& o, int ocount,
+                                const Datatype& t, int tcount,
+                                std::size_t tdisp) {
+  FragList out;
+  dt::pair_layouts(o, ocount, t, tcount, tdisp,
+                   [&](std::size_t oo, std::size_t to, std::size_t l) {
+                     out.push_back({oo, to, l});
+                   });
+  return out;
+}
+
+}  // namespace
+
+TEST(Datatype, PairLayoutsMatchesFlattenPairBlocks) {
+  // Hand-picked edge cases: nonzero lower bound, trailing gap, struct
+  // heterogeneity, subarray, zero count, nonzero target displacement.
+  const Datatype strided = Datatype::vector(4, 1, 2, Datatype::i64());
+  const Datatype contig = Datatype::contiguous(4, Datatype::i64());
+  const Datatype resized =
+      Datatype::resized(Datatype::contiguous(2, Datatype::i32()), 0, 32);
+  const Datatype shifted =
+      Datatype::resized(Datatype::indexed({2}, {1}, Datatype::i32()), 4, 24);
+  const Datatype strct = Datatype::struct_type(
+      {1, 1, 2}, {0, 8, 16},
+      {Datatype::u8(), Datatype::f64(), Datatype::i32()});
+  const Datatype sub =
+      Datatype::subarray({4, 5}, {2, 3}, {1, 1}, Datatype::i32());
+  const Datatype sub_pay = Datatype::contiguous(6, Datatype::i32());
+  const Datatype strct_pay = Datatype::contiguous(17, Datatype::u8());
+  const Datatype pay16 = Datatype::contiguous(2, Datatype::i64());
+
+  const struct {
+    const Datatype* o;
+    int oc;
+    const Datatype* t;
+    int tc;
+    std::size_t tdisp;
+  } cases[] = {
+      {&strided, 1, &contig, 1, 0},    {&contig, 1, &strided, 1, 64},
+      {&strided, 3, &strided, 3, 8},   {&resized, 2, &pay16, 1, 0},
+      {&shifted, 2, &resized, 2, 16},  {&strct, 2, &strct_pay, 2, 0},
+      {&sub, 1, &sub_pay, 1, 32},      {&sub_pay, 1, &sub, 1, 0},
+      {&strided, 0, &contig, 0, 0},
+  };
+  for (const auto& c : cases) {
+    EXPECT_EQ(frags_via_pair_layouts(*c.o, c.oc, *c.t, c.tc, c.tdisp),
+              frags_via_pair_blocks(*c.o, c.oc, *c.t, c.tc, c.tdisp))
+        << c.o->describe() << " -> " << c.t->describe();
+  }
+}
+
+TEST(Datatype, PairLayoutsRejectsPayloadMismatch) {
+  EXPECT_THROW(dt::pair_layouts(Datatype::i64(), 2, Datatype::i64(), 3, 0,
+                                [](std::size_t, std::size_t, std::size_t) {}),
+               Error);
+}
+
 // Property test: pack -> unpack into a fresh buffer reproduces exactly the
 // covered bytes, for randomly generated nested datatypes.
 class DatatypeProperty : public ::testing::TestWithParam<int> {};
@@ -311,6 +456,26 @@ TEST_P(DatatypeProperty, PackUnpackRoundtrip) {
       ASSERT_EQ(dst[i], 0xEE) << "gap clobbered at byte " << i;
     }
   }
+}
+
+TEST_P(DatatypeProperty, PairLayoutsParity) {
+  // pair_layouts() must yield exactly the fragments of the materialized
+  // flatten + pair_blocks path, for random nested types against a
+  // byte-contiguous peer of equal payload and a copy of themselves.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const Datatype d = random_type(rng, 1 + static_cast<int>(rng.below(3)));
+  const int count = 1 + static_cast<int>(rng.below(4));
+  const std::size_t payload = d.size() * static_cast<std::size_t>(count);
+  if (payload == 0) return;
+  const Datatype flat =
+      Datatype::contiguous(static_cast<int>(payload), Datatype::u8());
+  const std::size_t tdisp = rng.below(4) * 8;
+  EXPECT_EQ(frags_via_pair_layouts(d, count, flat, 1, tdisp),
+            frags_via_pair_blocks(d, count, flat, 1, tdisp));
+  EXPECT_EQ(frags_via_pair_layouts(flat, 1, d, count, tdisp),
+            frags_via_pair_blocks(flat, 1, d, count, tdisp));
+  EXPECT_EQ(frags_via_pair_layouts(d, count, d, count, tdisp),
+            frags_via_pair_blocks(d, count, d, count, tdisp));
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomTypes, DatatypeProperty,

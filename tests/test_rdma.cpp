@@ -609,3 +609,202 @@ TEST(Nic, KilledPeerAbortsWaitSpin) {
       opts));
   EXPECT_LT(t.elapsed_us(), 10e6) << "wait spin outlived the dead peer";
 }
+
+// --- vectored (chained-descriptor) operations --------------------------------
+
+TEST(NetworkModel, VectoredLatencyBeatsPerFragmentIssue) {
+  NetworkModel m;
+  // One chained op pays the base latency once; n separate ops pay it n
+  // times. The chain must also degenerate to the contiguous cost at n = 1.
+  EXPECT_DOUBLE_EQ(m.put_vec_latency_ns(1, 512), m.put_latency_ns(512));
+  EXPECT_DOUBLE_EQ(m.get_vec_latency_ns(1, 512), m.get_latency_ns(512));
+  const std::size_t n = 64, frag = 8;
+  EXPECT_LT(m.put_vec_latency_ns(n, n * frag),
+            static_cast<double>(n) * m.put_latency_ns(frag));
+  EXPECT_GT(m.put_vec_latency_ns(n, n * frag), m.put_latency_ns(n * frag));
+}
+
+TEST(Nic, VectoredPutScattersAndGetGathers) {
+  Domain dom(two_rank_internode());
+  AlignedBuffer mem(256);
+  std::memset(mem.data(), 0, 256);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 256);
+  Nic& nic = dom.nic(0);
+
+  std::array<std::uint8_t, 24> src{};
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  // Three fragments scattered over [16, 16+96): gaps must stay zero.
+  const std::array<Frag, 3> frags{{{0, 0, 8}, {8, 32, 8}, {16, 88, 8}}};
+
+  const OpCounters before = op_counters();
+  nic.wait(nic.put_nbv(1, d, 16, 96, src.data(), frags.data(), frags.size()));
+  const OpCounters delta = op_counters().since(before);
+  EXPECT_EQ(delta.get(Op::transport_put), 1u) << "one doorbell per vector";
+  EXPECT_EQ(delta.get(Op::vectored_op), 1u);
+  EXPECT_EQ(delta.get(Op::bytes_copied), 24u);
+
+  auto* t = reinterpret_cast<const std::uint8_t*>(mem.data());
+  for (const Frag& f : frags) {
+    for (std::size_t i = 0; i < f.len; ++i) {
+      ASSERT_EQ(t[16 + f.remote_off + i], src[f.local_off + i]);
+    }
+  }
+  EXPECT_EQ(t[16 + 8], 0u) << "gap written";
+  EXPECT_EQ(t[16 + 87], 0u) << "gap written";
+
+  std::array<std::uint8_t, 24> back{};
+  nic.wait(nic.get_nbv(1, d, 16, 96, back.data(), frags.data(), frags.size()));
+  EXPECT_EQ(back, src);
+}
+
+TEST(Nic, VectoredDeferredAppliesAtCompletion) {
+  DomainConfig cfg = two_rank_internode();
+  cfg.delivery = Delivery::deferred;
+  Domain dom(cfg);
+  AlignedBuffer mem(256);
+  std::memset(mem.data(), 0, 256);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 256);
+  Nic& nic = dom.nic(0);
+
+  std::array<std::uint8_t, 16> src{};
+  src.fill(0xAB);
+  const std::array<Frag, 2> frags{{{0, 0, 8}, {8, 64, 8}}};
+
+  // Explicit handle: nothing lands until wait(); the origin buffer is
+  // reusable immediately (payload staged at issue).
+  const Handle h =
+      nic.put_nbv(1, d, 0, 128, src.data(), frags.data(), frags.size());
+  src.fill(0xFF);  // must not affect the staged payload
+  auto* t = reinterpret_cast<const std::uint8_t*>(mem.data());
+  EXPECT_EQ(t[0], 0u);
+  nic.wait(h);
+  EXPECT_EQ(t[0], 0xABu);
+  EXPECT_EQ(t[64 + 7], 0xABu);
+
+  // Implicit vector: lands at gsync.
+  std::array<std::uint8_t, 16> src2{};
+  src2.fill(0x5C);
+  nic.put_nbiv(1, d, 0, 128, src2.data(), frags.data(), frags.size());
+  EXPECT_EQ(t[64], 0xABu);
+  nic.gsync();
+  EXPECT_EQ(t[64], 0x5Cu);
+
+  // Deferred vectored get: fragments land in local memory at wait().
+  std::array<std::uint8_t, 16> back{};
+  const Handle hg =
+      nic.get_nbv(1, d, 0, 128, back.data(), frags.data(), frags.size());
+  nic.wait(hg);
+  for (std::size_t i = 0; i < back.size(); ++i) ASSERT_EQ(back[i], 0x5Cu);
+}
+
+TEST(Nic, VectoredHandleTestSemantics) {
+  DomainConfig cfg = two_rank_internode();
+  cfg.delivery = Delivery::deferred;
+  Domain dom(cfg);
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  Nic& nic = dom.nic(0);
+  const std::array<Frag, 2> frags{{{0, 0, 4}, {4, 16, 4}}};
+  std::array<std::uint8_t, 8> src{};
+
+  // Zero fragments complete at issue.
+  EXPECT_EQ(nic.put_nbv(1, d, 0, 32, src.data(), frags.data(), 0),
+            kDoneHandle);
+
+  const Handle h =
+      nic.put_nbv(1, d, 0, 32, src.data(), frags.data(), frags.size());
+  EXPECT_NE(h, kDoneHandle);
+  EXPECT_EQ(nic.explicit_outstanding(), 1u);
+  EXPECT_TRUE(nic.test(h));  // no model time: completes and retires
+  EXPECT_EQ(nic.explicit_outstanding(), 0u);
+  EXPECT_THROW(nic.wait(h), Error);  // retired handle stays dead
+}
+
+TEST(Nic, VectoredSpanIsBoundsChecked) {
+  Domain dom(two_rank_internode());
+  AlignedBuffer mem(64);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 64);
+  Nic& nic = dom.nic(0);
+  std::array<std::uint8_t, 8> src{};
+  const std::array<Frag, 1> frags{{{0, 0, 8}}};
+  // The single up-front check covers the whole span: a vector whose span
+  // leaves the region raises before any fragment moves.
+  try {
+    nic.put_nbv(1, d, 32, 40, src.data(), frags.data(), frags.size());
+    FAIL() << "out-of-span vector did not raise";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.err_class(), ErrClass::rma_range);
+  }
+  EXPECT_NO_THROW(nic.wait(
+      nic.put_nbv(1, d, 32, 32, src.data(), frags.data(), frags.size())));
+}
+
+TEST(Nic, VectoredSteadyStateIssuesAreAllocationFree) {
+  // The vectored path reuses the same pooled records and staging buffers as
+  // the contiguous fast path: once warm, no per-op heap allocation.
+  DomainConfig cfg = two_rank_internode();
+  cfg.delivery = Delivery::deferred;
+  Domain dom(cfg);
+  AlignedBuffer mem(4096);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 4096);
+  Nic& nic = dom.nic(0);
+
+  std::array<std::uint8_t, 512> buf{};  // above PendingOp::kInlineStage
+  std::vector<Frag> frags;
+  for (std::size_t i = 0; i < 32; ++i) {
+    frags.push_back({i * 16, i * 64, 16});
+  }
+  auto cycle = [&] {
+    nic.wait(nic.put_nbv(1, d, 0, 2048, buf.data(), frags.data(),
+                         frags.size()));
+    nic.put_nbiv(1, d, 2048, 2048, buf.data(), frags.data(), frags.size());
+    nic.wait(nic.get_nbv(1, d, 0, 2048, buf.data(), frags.data(),
+                         frags.size()));
+    nic.gsync();
+  };
+  for (int i = 0; i < 32; ++i) cycle();  // warm pools, spill and frag lists
+
+  const OpCounters before = op_counters();
+  for (int i = 0; i < 2000; ++i) cycle();
+  const OpCounters delta = op_counters().since(before);
+  EXPECT_EQ(delta.get(Op::pool_grow), 0u) << "steady state allocated";
+  EXPECT_EQ(delta.get(Op::rkey_cache_miss), 0u);
+  EXPECT_EQ(delta.get(Op::vectored_op), 6000u);
+}
+
+TEST(Nic, VectoredKilledPeerAbortsWaitSpin) {
+  // Same spin-loop rule as the contiguous path: waiting on a vectored get
+  // whose modeled completion is far out must abort when the peer dies.
+  fabric::FabricOptions opts;
+  opts.domain.nranks = 2;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.inject = Injection::model;
+  opts.domain.model.inter_overhead_ns = 0.0;
+  opts.domain.model.get_base_ns = 30e9;  // 30 s modeled completion
+  std::vector<AlignedBuffer> bufs;
+  bufs.emplace_back(64);
+  bufs.emplace_back(64);
+  Timer t;
+  EXPECT_ANY_THROW(fabric::run_ranks(
+      2,
+      [&](fabric::RankCtx& ctx) {
+        auto& reg = ctx.fabric().domain().registry();
+        const RegionDesc mine = reg.register_region(
+            ctx.rank(), bufs[static_cast<std::size_t>(ctx.rank())].data(), 64);
+        std::vector<RegionDesc> descs(2);
+        ctx.allgather(&mine, 1, descs.data());
+        if (ctx.rank() == 1) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          throw std::runtime_error("injected peer failure");
+        }
+        std::array<std::uint8_t, 16> back{};
+        const std::array<Frag, 2> frags{{{0, 0, 8}, {8, 32, 8}}};
+        const Handle h = ctx.nic().get_nbv(1, descs[1], 0, 48, back.data(),
+                                           frags.data(), frags.size());
+        ctx.nic().wait(h);  // must abort via the progress hook
+      },
+      opts));
+  EXPECT_LT(t.elapsed_us(), 10e6) << "wait spin outlived the dead peer";
+}
