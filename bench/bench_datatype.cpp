@@ -27,6 +27,7 @@
 #include "common/timing.hpp"
 #include "core/window.hpp"
 #include "datatype/datatype.hpp"
+#include "trace/trace.hpp"
 
 using namespace fompi;
 using fompi::dt::Datatype;
@@ -143,9 +144,57 @@ void section(rdma::Injection inject, int iters,
   }, o);
 }
 
+/// Traced vs untraced rerun of the 1024-fragment vectored case. run_ranks
+/// auto-binds rank threads while a TraceSession is active, so the untraced
+/// control explicitly unbinds first — that run exercises the production
+/// off-path (thread-local load + branch per emit site) and must record
+/// nothing; the bound rerun pays for real ring appends.
+struct TraceOverhead {
+  double untraced_ns_per_elem = 0;
+  double traced_ns_per_elem = 0;
+  std::uint64_t traced_events = 0;
+  bool untraced_clean = false;
+};
+
+TraceOverhead measure_trace_overhead(int iters) {
+  trace::TraceSession::Config tcfg;
+  tcfg.postmortem_path.clear();
+  trace::TraceSession session(2, tcfg);
+  TraceOverhead r;
+
+  fabric::FabricOptions o;
+  o.domain.ranks_per_node = 1;
+  o.domain.inject = rdma::Injection::none;
+  fabric::run_ranks(2, [&](fabric::RankCtx& ctx) {
+    trace::bind_thread(nullptr);  // untraced control phase
+    core::Win win = core::Win::allocate(ctx, 1 << 17);
+    if (ctx.rank() == 0) {
+      win.lock(core::LockType::exclusive, 1);
+      const Datatype i32 = Datatype::i32();
+      const Datatype vec = Datatype::vector(1024, 1, 2, i32);
+      std::vector<std::uint32_t> src(2048, 7u);
+      const auto op = [&] { win.put(src.data(), 1, vec, 1, 64, 1, vec); };
+
+      r.untraced_ns_per_elem =
+          time_case("vectored_untraced", 1024, 8, iters, win, op).ns_per_elem;
+      r.untraced_clean = session.total_events() == 0;
+
+      trace::bind_thread(&session.ring(0));
+      r.traced_ns_per_elem =
+          time_case("vectored_traced", 1024, 8, iters, win, op).ns_per_elem;
+      win.unlock(1);
+    }
+    ctx.barrier();
+    win.free();
+    trace::bind_thread(nullptr);
+  }, o);
+  r.traced_events = session.total_events();
+  return r;
+}
+
 void emit_json(const std::vector<CaseResult>& sw,
                const std::vector<CaseResult>& model, int sw_iters,
-               int model_iters) {
+               int model_iters, const TraceOverhead& trace_ovh) {
   std::printf("{\n  \"bench\": \"datatype\",\n");
   auto emit = [](const char* name, const std::vector<CaseResult>& results,
                  int iters, bool last) {
@@ -167,7 +216,15 @@ void emit_json(const std::vector<CaseResult>& sw,
     std::printf("  ]}%s\n", last ? "" : ",");
   };
   emit("software", sw, sw_iters, false);
-  emit("modeled", model, model_iters, true);
+  emit("modeled", model, model_iters, false);
+  std::printf("  \"trace_overhead\": {\"case\": \"put_vectored_1024\", "
+              "\"untraced_ns_per_elem\": %.2f, \"traced_ns_per_elem\": %.2f, "
+              "\"delta_ns_per_elem\": %.2f, \"traced_events\": %llu, "
+              "\"untraced_clean\": %s}\n",
+              trace_ovh.untraced_ns_per_elem, trace_ovh.traced_ns_per_elem,
+              trace_ovh.traced_ns_per_elem - trace_ovh.untraced_ns_per_elem,
+              static_cast<unsigned long long>(trace_ovh.traced_events),
+              trace_ovh.untraced_clean ? "true" : "false");
   std::printf("}\n");
 }
 
@@ -180,6 +237,16 @@ int main() {
   std::vector<CaseResult> model;
   section(rdma::Injection::none, kSwIters, sw);
   section(rdma::Injection::model, kModelIters, model);
-  emit_json(sw, model, kSwIters, kModelIters);
+  const TraceOverhead trace_ovh = measure_trace_overhead(kSwIters);
+  emit_json(sw, model, kSwIters, kModelIters, trace_ovh);
+  if (!trace_ovh.untraced_clean) {
+    std::fprintf(stderr, "FAIL: unbound (untraced) run recorded trace "
+                         "events — the off path is not off\n");
+    return 1;
+  }
+  if (trace::kEnabled && trace_ovh.traced_events == 0) {
+    std::fprintf(stderr, "FAIL: bound (traced) rerun recorded no events\n");
+    return 1;
+  }
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "common/instr.hpp"
 #include "common/timing.hpp"
 #include "rdma/nic.hpp"
+#include "trace/trace.hpp"
 
 using namespace fompi;
 using namespace fompi::rdma;
@@ -63,7 +64,21 @@ CaseResult run_case(const std::string& name, const std::function<void(int)>& op,
   return r;
 }
 
-void emit_json(const std::vector<CaseResult>& results) {
+/// Traced vs untraced put8 fast path. The untraced run executes with a
+/// TraceSession active but the thread UNBOUND — the exact production
+/// off-path (one thread-local load + branch per emit site) — and must
+/// record zero events. The traced run binds the thread and pays for real
+/// ring appends; the delta is the record-path cost.
+struct TraceOverhead {
+  double untraced_ns_per_op = 0;
+  double traced_ns_per_op = 0;
+  std::uint64_t traced_events = 0;
+  std::uint64_t traced_dropped = 0;
+  bool untraced_clean = false;  ///< unbound run recorded nothing
+};
+
+void emit_json(const std::vector<CaseResult>& results,
+               const TraceOverhead& trace_ovh) {
   std::printf("{\n  \"bench\": \"fastpath\",\n  \"injection\": \"none\",\n");
   std::printf("  \"iters\": %d,\n  \"cases\": [\n", kIters);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -80,7 +95,49 @@ void emit_json(const std::vector<CaseResult>& results) {
     }
     std::printf("}%s\n", i + 1 == results.size() ? "" : ",");
   }
-  std::printf("  ]\n}\n");
+  std::printf("  ],\n");
+  std::printf("  \"trace_overhead\": {\"case\": \"put8_blocking_immediate\", "
+              "\"untraced_ns_per_op\": %.1f, \"traced_ns_per_op\": %.1f, "
+              "\"delta_ns_per_op\": %.1f, \"traced_events\": %llu, "
+              "\"traced_dropped\": %llu, \"untraced_clean\": %s}\n",
+              trace_ovh.untraced_ns_per_op, trace_ovh.traced_ns_per_op,
+              trace_ovh.traced_ns_per_op - trace_ovh.untraced_ns_per_op,
+              static_cast<unsigned long long>(trace_ovh.traced_events),
+              static_cast<unsigned long long>(trace_ovh.traced_dropped),
+              trace_ovh.untraced_clean ? "true" : "false");
+  std::printf("}\n");
+}
+
+/// Runs the put8 blocking case twice under an active TraceSession: first
+/// with the thread unbound (production off-path), then bound to a ring.
+TraceOverhead measure_trace_overhead() {
+  trace::TraceSession::Config tcfg;
+  tcfg.ring_capacity = std::size_t{1} << 18;  // warmup + kIters events fit
+  tcfg.postmortem_path.clear();
+  trace::TraceSession session(1, tcfg);
+
+  DomainConfig cfg;
+  cfg.nranks = 2;
+  cfg.ranks_per_node = 1;
+  cfg.inject = Injection::none;
+  cfg.delivery = Delivery::immediate;
+  Domain dom(cfg);
+  Nic& nic = dom.nic(0);
+  AlignedBuffer mem(1 << 16);
+  const RegionDesc d = dom.registry().register_region(1, mem.data(), 1 << 16);
+  alignas(8) std::uint64_t src = 0x0123456789abcdefull;
+
+  TraceOverhead r;
+  const auto put8 = [&](int i) { nic.put(1, d, (i % 64) * 8u, &src, 8); };
+  r.untraced_ns_per_op = run_case("put8_untraced", put8, [] {}).ns_per_op;
+  r.untraced_clean = session.total_events() == 0;
+
+  trace::bind_thread(&session.ring(0));
+  r.traced_ns_per_op = run_case("put8_traced", put8, [] {}).ns_per_op;
+  trace::bind_thread(nullptr);
+  r.traced_events = session.total_events();
+  r.traced_dropped = session.total_dropped();
+  return r;
 }
 
 }  // namespace
@@ -162,6 +219,16 @@ int main() {
         [] {}));
   }
 
-  emit_json(results);
+  const TraceOverhead trace_ovh = measure_trace_overhead();
+  emit_json(results, trace_ovh);
+  if (!trace_ovh.untraced_clean) {
+    std::fprintf(stderr, "FAIL: unbound (untraced) run recorded trace "
+                         "events — the off path is not off\n");
+    return 1;
+  }
+  if (trace::kEnabled && trace_ovh.traced_events == 0) {
+    std::fprintf(stderr, "FAIL: bound (traced) run recorded no events\n");
+    return 1;
+  }
   return 0;
 }

@@ -10,12 +10,20 @@
 #include "core/window.hpp"
 #include "perfmodel/fit.hpp"
 #include "simtime/sim_sync.hpp"
+#include "trace/trace.hpp"
 
 using namespace fompi;
 using namespace fompi::bench;
 
 int main() {
   std::printf("Figure 6b: global synchronization latency [us]\n\n");
+
+  // Flight-record the whole thread-rank section: every fence epoch and
+  // barrier across all ranks lands in the per-rank rings, exported below as
+  // a Perfetto timeline plus latency percentiles.
+  trace::TraceSession::Config tcfg;
+  tcfg.postmortem_path = "BENCH_fig6b_fence.postmortem.trace.json";
+  trace::TraceSession session(8, tcfg);
 
   // --- real execution, small p -------------------------------------------------
   header("thread-rank execution (real protocol code, Gemini model)");
@@ -38,6 +46,27 @@ int main() {
   const auto fit = perf::fit_logarithmic(fence_samples);
   std::printf("fitted: P_fence = %.2f us * log2(p) + %.2f us  (paper: 2.9 "
               "us * log2 p)\n", fit.slope_us_per_x, fit.intercept_us);
+
+  // --- flight-recorder consumers ----------------------------------------------
+  const char* trace_path = "BENCH_fig6b_fence.trace.json";
+  if (session.write_chrome_json(trace_path)) {
+    std::printf("\ntrace: %s (%llu events, %llu dropped) — load in "
+                "ui.perfetto.dev\n", trace_path,
+                static_cast<unsigned long long>(session.total_events()),
+                static_cast<unsigned long long>(session.total_dropped()));
+  }
+  header("flight-recorder latency percentiles (wall clock, all ranks)");
+  std::printf("%-14s%10s%12s%12s%12s\n", "class", "count", "p50 [ns]",
+              "p99 [ns]", "max [ns]");
+  for (const trace::EvClass cls :
+       {trace::EvClass::fence, trace::EvClass::barrier, trace::EvClass::put}) {
+    const trace::HistoSummary s = session.summary(cls);
+    std::printf("%-14s%10llu%12llu%12llu%12llu\n", trace::to_string(cls),
+                static_cast<unsigned long long>(s.count),
+                static_cast<unsigned long long>(s.p50_ns),
+                static_cast<unsigned long long>(s.p99_ns),
+                static_cast<unsigned long long>(s.max_ns));
+  }
 
   // --- DES scaling tail -----------------------------------------------------------
   header("discrete-event simulation to 8k processes");

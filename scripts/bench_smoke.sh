@@ -2,14 +2,19 @@
 # Smoke-check the benchmark pipeline.
 #
 #   scripts/bench_smoke.sh          build Release, run bench_fastpath,
-#                                   bench_datatype and one figure bench; the
-#                                   JSON outputs land in BENCH_fastpath.json
-#                                   and BENCH_datatype.json at the repo root
+#                                   bench_datatype and two figure benches; the
+#                                   JSON outputs land in BENCH_fastpath.json /
+#                                   BENCH_datatype.json at the repo root,
+#                                   bench_fig6b_fence emits a Perfetto
+#                                   timeline (BENCH_fig6b_fence.trace.json),
+#                                   and scripts/bench_summary.py aggregates
+#                                   everything into BENCH_summary.json
 #   scripts/bench_smoke.sh --tsan   additionally build with
 #                                   -DFOMPI_SANITIZE=thread and run the
 #                                   concurrency-heavy tests (test_rdma,
 #                                   test_lock, test_datatype, test_comm,
-#                                   test_accumulate) under ThreadSanitizer
+#                                   test_accumulate, test_trace) under
+#                                   ThreadSanitizer
 #
 # bench_fastpath measures software-only issue overhead (Injection::none);
 # its numbers are NOT comparable to the figure benches, which run under the
@@ -24,16 +29,20 @@ cmake --build build
 ./build/bench/bench_fastpath | tee BENCH_fastpath.json
 ./build/bench/bench_datatype | tee BENCH_datatype.json
 ./build/bench/bench_fig4_latency
+./build/bench/bench_fig6b_fence
+
+python3 scripts/bench_summary.py .
 
 if [ "${1:-}" = "--tsan" ]; then
   cmake -B build-tsan -G Ninja -DFOMPI_SANITIZE=thread
   cmake --build build-tsan --target \
-    test_rdma test_lock test_datatype test_comm test_accumulate
+    test_rdma test_lock test_datatype test_comm test_accumulate test_trace
   ./build-tsan/tests/test_rdma
   ./build-tsan/tests/test_lock
   ./build-tsan/tests/test_datatype
   ./build-tsan/tests/test_comm
   ./build-tsan/tests/test_accumulate
+  ./build-tsan/tests/test_trace
 fi
 
 echo "bench smoke OK"

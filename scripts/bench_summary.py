@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Aggregate BENCH_*.json artifacts into one BENCH_summary.json.
+
+Walks every BENCH_*.json in the given directory (default: repo root),
+flattens each bench's "cases" arrays — including nested sections like
+bench_datatype's "software"/"modeled" — into a single map of
+
+    "<bench>/<section>/<case>" -> headline ns/op (ns_per_op or ns_per_elem)
+
+and writes BENCH_summary.json next to the inputs. Perfetto trace artifacts
+(*.trace.json) and a stale summary itself are skipped. Exits non-zero if no
+bench artifacts were found or one fails to parse, so CI catches a silently
+broken emission pipeline.
+"""
+import json
+import pathlib
+import sys
+
+HEADLINE_KEYS = ("ns_per_op", "ns_per_elem")
+
+
+def flatten(prefix, node, out):
+    """Collects name -> headline metric from any nesting of dicts/lists."""
+    if isinstance(node, dict):
+        if "name" in node and any(k in node for k in HEADLINE_KEYS):
+            for key in HEADLINE_KEYS:
+                if key in node:
+                    out[f"{prefix}/{node['name']}"] = node[key]
+                    break
+            return
+        for key, child in node.items():
+            if key == "cases":
+                flatten(prefix, child, out)  # don't spell out "cases"
+            elif isinstance(child, (dict, list)):
+                flatten(f"{prefix}/{key}", child, out)
+    elif isinstance(node, list):
+        for child in node:
+            flatten(prefix, child, out)
+
+
+def main(argv):
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path(".")
+    summary = {}
+    inputs = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        if path.name == "BENCH_summary.json" or path.name.endswith(
+            ".trace.json"
+        ):
+            continue
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError as e:
+            print(f"error: {path} is not valid JSON: {e}", file=sys.stderr)
+            return 1
+        bench = doc.get("bench", path.stem.removeprefix("BENCH_"))
+        flatten(bench, doc, summary)
+        if "trace_overhead" in doc:
+            ovh = doc["trace_overhead"]
+            for key in ("untraced_ns_per_op", "traced_ns_per_op",
+                        "untraced_ns_per_elem", "traced_ns_per_elem"):
+                if key in ovh:
+                    summary[f"{bench}/trace_overhead/{key}"] = ovh[key]
+        inputs.append(path.name)
+    if not inputs:
+        print(f"error: no BENCH_*.json artifacts under {root}", file=sys.stderr)
+        return 1
+    out = root / "BENCH_summary.json"
+    out.write_text(
+        json.dumps({"inputs": inputs, "headline_ns": summary}, indent=2,
+                   sort_keys=True) + "\n"
+    )
+    print(f"{out}: {len(summary)} headline metrics from {len(inputs)} benches")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,9 +3,12 @@
 #
 #   1. Release build + full ctest suite (the tier-1 gate from ROADMAP.md)
 #   2. ThreadSanitizer build + the concurrency-heavy tests (datatype
-#      flatten-cache sharing, RDMA issue paths, locks, comm, accumulate)
+#      flatten-cache sharing, RDMA issue paths, locks, comm, accumulate,
+#      flight-recorder tracing)
 #   3. Benchmark smoke run (bench_fastpath + bench_datatype JSON emission
-#      and one figure bench)
+#      and two figure benches)
+#   4. Trace-artifact gate: the Perfetto timeline bench_fig6b_fence emitted
+#      must be valid JSON and must have dropped zero events
 #
 # Runs from any directory; everything lands in build/ and build-tsan/.
 set -eu
@@ -18,13 +21,26 @@ ctest --test-dir build --output-on-failure
 
 cmake -B build-tsan -G Ninja -DFOMPI_SANITIZE=thread
 cmake --build build-tsan --target \
-  test_rdma test_lock test_datatype test_comm test_accumulate
+  test_rdma test_lock test_datatype test_comm test_accumulate test_trace
 ./build-tsan/tests/test_rdma
 ./build-tsan/tests/test_lock
 ./build-tsan/tests/test_datatype
 ./build-tsan/tests/test_comm
 ./build-tsan/tests/test_accumulate
+./build-tsan/tests/test_trace
 
 scripts/bench_smoke.sh
+
+# The smoke run must have produced a loadable Perfetto timeline with a ring
+# large enough for the run: structural validity via json.tool, zero drops
+# via the exporter's otherData.dropped field.
+python3 -m json.tool BENCH_fig6b_fence.trace.json > /dev/null
+python3 - <<'EOF'
+import json, sys
+dropped = json.load(open("BENCH_fig6b_fence.trace.json"))["otherData"]["dropped"]
+if dropped > 0:
+    sys.exit(f"BENCH_fig6b_fence.trace.json: {dropped} events dropped "
+             "(flight-recorder ring too small for the smoke run)")
+EOF
 
 echo "ci OK"

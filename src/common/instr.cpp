@@ -1,5 +1,7 @@
 #include "common/instr.hpp"
 
+#include <cstring>
+
 namespace fompi {
 
 const char* to_string(Op op) noexcept {
@@ -24,6 +26,18 @@ const char* to_string(Op op) noexcept {
     case Op::kCount:           break;
   }
   return "unknown";
+}
+
+bool op_from_string(const char* name, Op* out) noexcept {
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(Op::kCount); ++i) {
+    const Op op = static_cast<Op>(i);
+    const char* s = to_string(op);
+    if (std::strcmp(s, name) == 0 && std::strcmp(s, "unknown") != 0) {
+      if (out != nullptr) *out = op;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::uint64_t OpCounters::total_ops() const noexcept {

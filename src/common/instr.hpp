@@ -37,6 +37,11 @@ enum class Op : std::uint32_t {
 
 const char* to_string(Op op) noexcept;
 
+/// Inverse of to_string: linear scan over all Op values. Returns false for
+/// unknown names (including "unknown" itself). With the exhaustive
+/// round-trip test this guarantees every Op has a distinct name string.
+bool op_from_string(const char* name, Op* out) noexcept;
+
 /// Per-thread counter block. Each rank thread owns one; benches snapshot it
 /// around a call to attribute costs to that call.
 class OpCounters {

@@ -7,6 +7,7 @@
 #include "core/window.hpp"
 
 #include "core/win_internal.hpp"
+#include "trace/trace.hpp"
 
 namespace fompi::core {
 
@@ -17,6 +18,7 @@ void Win::fence() {
                 "fence inside a passive-target epoch");
   FOMPI_REQUIRE(!rs.access_group && !rs.exposure_group, ErrClass::rma_sync,
                 "fence inside a PSCW epoch");
+  const trace::Span sp(trace::EvClass::fence);
   commit_all();                    // local mfence + bulk remote completion
   s.fabric->coll().barrier(rank_); // global completion
   rs.fence_active = true;
@@ -24,6 +26,7 @@ void Win::fence() {
 
 void Win::sync() {
   sh();
+  trace::emit(trace::EvClass::win_sync, trace::EvPhase::issue);
   nic().local_fence();
 }
 

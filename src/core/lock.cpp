@@ -18,6 +18,7 @@
 #include "common/backoff.hpp"
 #include "common/instr.hpp"
 #include "core/win_internal.hpp"
+#include "trace/trace.hpp"
 
 namespace fompi::core {
 
@@ -35,6 +36,8 @@ void Win::lock(LockType type, int target) {
                 "lock inside a lock_all epoch");
   FOMPI_REQUIRE(rs.locks.count(target) == 0, ErrClass::rma_sync,
                 "lock: target already locked by this origin");
+  const trace::Span tsp(trace::EvClass::lock, target,
+                        type == LockType::exclusive ? 1 : 0);
   rdma::Nic& n = nic();
   const auto& tdesc = s.ctrl_desc[static_cast<std::size_t>(target)];
   const auto& mdesc = s.ctrl_desc[kMaster];
@@ -97,6 +100,7 @@ void Win::unlock(int target) {
   const auto it = rs.locks.find(target);
   FOMPI_REQUIRE(it != rs.locks.end(), ErrClass::rma_sync,
                 "unlock: target not locked");
+  const trace::Span tsp(trace::EvClass::unlock, target);
   // The epoch's operations must be remotely complete before the lock is
   // observable as released.
   commit_all();
@@ -124,6 +128,7 @@ void Win::lock_all() {
   FOMPI_REQUIRE(rs.locks.empty(), ErrClass::rma_sync,
                 "lock_all while holding per-target locks");
   rs.fence_active = false;  // a preceding fence acts as the closing fence
+  const trace::Span tsp(trace::EvClass::lock);
   rdma::Nic& n = nic();
   const auto& mdesc = s.ctrl_desc[kMaster];
   Backoff backoff;
@@ -144,6 +149,7 @@ void Win::unlock_all() {
   RankState& rs = st();
   FOMPI_REQUIRE(rs.lock_all, ErrClass::rma_sync,
                 "unlock_all without lock_all");
+  const trace::Span tsp(trace::EvClass::unlock);
   commit_all();
   nic().amo(kMaster, s.ctrl_desc[kMaster], CtrlLayout::kGlobalLock,
             rdma::AmoOp::fetch_add, ~std::uint64_t{0});
@@ -165,24 +171,28 @@ void require_passive(const char* what, bool lock_all, bool any_lock) {
 void Win::flush(int target) {
   RankState& rs = st();
   require_passive("flush", rs.lock_all, rs.locks.count(target) != 0);
+  const trace::Span tsp(trace::EvClass::flush, target);
   commit_all();
 }
 
 void Win::flush_local(int target) {
   RankState& rs = st();
   require_passive("flush_local", rs.lock_all, rs.locks.count(target) != 0);
+  const trace::Span tsp(trace::EvClass::flush, target);
   commit_all();
 }
 
 void Win::flush_all() {
   RankState& rs = st();
   require_passive("flush_all", rs.lock_all, !rs.locks.empty());
+  const trace::Span tsp(trace::EvClass::flush);
   commit_all();
 }
 
 void Win::flush_local_all() {
   RankState& rs = st();
   require_passive("flush_local_all", rs.lock_all, !rs.locks.empty());
+  const trace::Span tsp(trace::EvClass::flush);
   commit_all();
 }
 

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/win_internal.hpp"
+#include "trace/trace.hpp"
 
 namespace fompi::core {
 
@@ -74,6 +75,7 @@ std::uint64_t NotifyWin::test_notify(int id) {
 void NotifyWin::wait_notify(int id, std::uint64_t count) {
   FOMPI_REQUIRE(id >= 0 && id < num_ids_, ErrClass::arg,
                 "wait_notify: notification id out of range");
+  const trace::Span tsp(trace::EvClass::notify_wait, -1, count);
   auto* word = reinterpret_cast<std::uint64_t*>(
       static_cast<std::byte*>(win_.base()) + notify_off(id));
   std::atomic_ref<std::uint64_t> counter(*word);

@@ -16,6 +16,7 @@
 #include "common/backoff.hpp"
 #include "common/instr.hpp"
 #include "core/win_internal.hpp"
+#include "trace/trace.hpp"
 
 namespace fompi::core {
 
@@ -32,6 +33,8 @@ void Win::post(const fabric::Group& group) {
   FOMPI_REQUIRE(!rs.exposure_group, ErrClass::rma_sync,
                 "post: exposure epoch already open");
   rs.fence_active = false;  // a preceding fence acts as the closing fence
+  const trace::Span tsp(trace::EvClass::pscw_post, -1,
+                        static_cast<std::uint64_t>(group.size()));
   const CtrlLayout& L = s.layout;
   rdma::Nic& n = nic();
   // Make prior local stores to the exposed memory visible before any
@@ -73,6 +76,8 @@ void Win::start(const fabric::Group& group) {
   FOMPI_REQUIRE(!rs.access_group, ErrClass::rma_sync,
                 "start: access epoch already open");
   rs.fence_active = false;  // a preceding fence acts as the closing fence
+  const trace::Span tsp(trace::EvClass::pscw_start, -1,
+                        static_cast<std::uint64_t>(group.size()));
   const CtrlLayout& L = s.layout;
   // Wait (purely locally) until every target of the access group has
   // announced its matching post, consuming one announcement each.
@@ -103,6 +108,8 @@ void Win::complete() {
   RankState& rs = st();
   FOMPI_REQUIRE(rs.access_group.has_value(), ErrClass::rma_sync,
                 "complete without a matching start");
+  const trace::Span tsp(trace::EvClass::pscw_complete, -1,
+                        static_cast<std::uint64_t>(rs.access_group->size()));
   // Guarantee remote visibility of every RMA operation of this epoch, then
   // bump each exposure side's completion counter.
   commit_all();
@@ -119,6 +126,8 @@ void Win::wait() {
   RankState& rs = st();
   FOMPI_REQUIRE(rs.exposure_group.has_value(), ErrClass::rma_sync,
                 "wait without a matching post");
+  const trace::Span tsp(trace::EvClass::pscw_wait, -1,
+                        static_cast<std::uint64_t>(rs.exposure_group->size()));
   const auto expected =
       static_cast<std::uint64_t>(rs.exposure_group->size());
   auto counter = s.ctrl_word(rank_, CtrlLayout::kCompletion);

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/error.hpp"
+#include "trace/trace.hpp"
 
 namespace fompi::fabric {
 
@@ -45,6 +46,7 @@ std::uint64_t Collectives::load_flag(int rank, bool ib, int round) const {
 void Collectives::barrier(int rank) {
   const int p = nranks();
   if (p == 1) return;
+  const trace::Span tsp(trace::EvClass::barrier);
   RankState& st = state_[static_cast<std::size_t>(rank)];
   const std::uint64_t gen = ++st.barrier_gen;
   rdma::Nic& nic = domain_.nic(rank);

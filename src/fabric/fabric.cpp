@@ -1,9 +1,11 @@
 #include "fabric/fabric.hpp"
 
+#include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "trace/trace.hpp"
 
 namespace fompi::fabric {
 
@@ -65,17 +67,38 @@ void run_ranks(int nranks, const std::function<void(RankCtx&)>& body,
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&fabric, &body, r] {
+      // Flight recorder: while a TraceSession is active, each rank thread
+      // records into its own ring (unbound threads pay a single branch).
+      trace::TraceSession* ts = trace::TraceSession::active();
+      if (ts != nullptr && r < ts->nranks()) trace::bind_thread(&ts->ring(r));
       RankCtx ctx(fabric, r);
       try {
         body(ctx);
       } catch (...) {
         fabric.abort(std::current_exception());
       }
+      trace::bind_thread(nullptr);
     });
   }
   for (auto& t : threads) t.join();
 
-  if (std::exception_ptr e = fabric.first_error()) std::rethrow_exception(e);
+  if (std::exception_ptr e = fabric.first_error()) {
+    // A rank failed (or a killed peer aborted the fleet through
+    // yield_check): dump the flight-recorder rings post-mortem so the hang
+    // leaves evidence of what every rank was doing.
+    if (trace::TraceSession* ts = trace::TraceSession::active()) {
+      const std::string path = ts->write_postmortem();
+      if (!path.empty()) {
+        std::fprintf(stderr,
+                     "[fompi] fleet abort: flight-recorder trace dumped to "
+                     "%s (%llu events, %llu dropped)\n",
+                     path.c_str(),
+                     static_cast<unsigned long long>(ts->total_events()),
+                     static_cast<unsigned long long>(ts->total_dropped()));
+      }
+    }
+    std::rethrow_exception(e);
+  }
 }
 
 }  // namespace fompi::fabric

@@ -7,6 +7,7 @@
 
 #include "common/instr.hpp"
 #include "common/timing.hpp"
+#include "trace/trace.hpp"
 
 namespace fompi::rdma {
 
@@ -282,6 +283,7 @@ Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
   // Model time accounting: only the injection mode consults the clock; the
   // functional mode (Injection::none) runs the pure software path.
   std::uint64_t complete_at = 0;
+  std::uint64_t model_lat = 0;
   if (cfg.inject == Injection::model) {
     const NetworkModel& m = cfg.model;
     double overhead_ns = 0.0;
@@ -308,7 +310,8 @@ Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
     const double scale = cfg.time_scale;
     const std::uint64_t issue_start = now_ns();
     spin_for_ns(static_cast<std::uint64_t>(overhead_ns * scale));
-    complete_at = issue_start + static_cast<std::uint64_t>(latency_ns * scale);
+    model_lat = static_cast<std::uint64_t>(latency_ns * scale);
+    complete_at = issue_start + model_lat;
     latest_complete_at_ = std::max(latest_complete_at_, complete_at);
   }
 
@@ -317,6 +320,14 @@ Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
   // Inter-node ops are applied at issue under immediate delivery, and
   // postponed to completion under deferred delivery.
   const bool defer = inter && cfg.delivery == Delivery::deferred;
+  const trace::EvClass ev_cls =
+      req.kind == PendingOp::Kind::put   ? trace::EvClass::put
+      : req.kind == PendingOp::Kind::get ? trace::EvClass::get
+                                         : trace::EvClass::amo;
+  // `issue` = data moved at issue; `doorbell` = handed to the wire, remote
+  // memory commits at sim_ns (deferred delivery).
+  trace::emit(ev_cls, defer ? trace::EvPhase::doorbell : trace::EvPhase::issue,
+              target, req.len, model_lat, complete_at);
   if (!defer) {
     apply_direct(req, remote);
     if (implicit) {
@@ -389,6 +400,7 @@ Handle Nic::issue_vec(int target, const RegionDesc& rd, std::size_t base_off,
   if (total != 0) count(Op::bytes_copied, total);
 
   std::uint64_t complete_at = 0;
+  std::uint64_t model_lat = 0;
   if (cfg.inject == Injection::model) {
     const NetworkModel& m = cfg.model;
     double overhead_ns = 0.0;
@@ -405,11 +417,15 @@ Handle Nic::issue_vec(int target, const RegionDesc& rd, std::size_t base_off,
     const double scale = cfg.time_scale;
     const std::uint64_t issue_start = now_ns();
     spin_for_ns(static_cast<std::uint64_t>(overhead_ns * scale));
-    complete_at = issue_start + static_cast<std::uint64_t>(latency_ns * scale);
+    model_lat = static_cast<std::uint64_t>(latency_ns * scale);
+    complete_at = issue_start + model_lat;
     latest_complete_at_ = std::max(latest_complete_at_, complete_at);
   }
 
   const bool defer = inter && cfg.delivery == Delivery::deferred;
+  trace::emit(trace::EvClass::vectored,
+              defer ? trace::EvPhase::doorbell : trace::EvPhase::issue, target,
+              total, model_lat, complete_at);
   if (!defer) {
     auto* lbase = static_cast<std::byte*>(local_base);
     if (kind == PendingOp::Kind::put) {
@@ -574,6 +590,15 @@ std::uint64_t Nic::amo(int target, const RegionDesc& rd, std::size_t offset,
   return fetched;
 }
 
+void Nic::trace_retire(const PendingOp& op) noexcept {
+  const trace::EvClass cls =
+      !op.frags_.empty()                 ? trace::EvClass::vectored
+      : op.kind == PendingOp::Kind::put  ? trace::EvClass::put
+      : op.kind == PendingOp::Kind::get  ? trace::EvClass::get
+                                         : trace::EvClass::amo;
+  trace::emit(cls, trace::EvPhase::complete, -1, op.len, 0, op.complete_at);
+}
+
 bool Nic::test(Handle h) {
   if (h == kDoneHandle) return true;
   Slot* s = lookup(h);
@@ -583,6 +608,7 @@ bool Nic::test(Handle h) {
     return false;
   }
   apply(s->op);
+  trace_retire(s->op);
   release_slot(static_cast<std::uint32_t>(h));
   return true;
 }
@@ -593,11 +619,13 @@ void Nic::wait(Handle h) {
   FOMPI_REQUIRE(s != nullptr, ErrClass::arg, "wait: unknown handle");
   wait_model_time(s->op.complete_at);
   apply(s->op);
+  trace_retire(s->op);
   release_slot(static_cast<std::uint32_t>(h));
 }
 
 void Nic::gsync() {
   count(Op::bulk_sync);
+  const trace::Span sp(trace::EvClass::bulk_sync, -1, outstanding());
   // Drain deferred operations, optionally in shuffled order to model the
   // absence of network ordering guarantees. Explicit handles stay valid for
   // a later test/wait; their data movement happens here at the latest.

@@ -240,6 +240,8 @@ class Nic {
   void apply(PendingOp& op);
   /// Applies an op straight from its request, with no pooled record.
   void apply_direct(const OpReq& req, std::byte* remote);
+  /// Flight-recorder completion event at explicit-handle retirement.
+  void trace_retire(const PendingOp& op) noexcept;
   void wait_model_time(std::uint64_t complete_at);
 
   // Slab pool management (explicit handles).

@@ -1,0 +1,96 @@
+// Chrome trace-event ("Perfetto JSON") exporter.
+//
+// Emits the classic trace-event JSON object format, loadable in
+// ui.perfetto.dev or chrome://tracing: one process (pid 0, the fabric),
+// one thread track per rank. Sync epochs become B/E duration events;
+// op lifecycle records become thread-scoped instants carrying bytes,
+// modeled latency (dur_ns) and the modeled completion stamp (sim_ns) as
+// args. Timestamps are microseconds relative to the session start, on the
+// shared steady clock — so tracks of different ranks line up exactly.
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "trace/trace.hpp"
+
+namespace fompi::trace {
+
+namespace {
+
+void append_f(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_f(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+/// Microseconds (Chrome's "ts" unit) relative to the session origin.
+double rel_us(std::uint64_t wall_ns, std::uint64_t origin_ns) {
+  return static_cast<double>(wall_ns - origin_ns) / 1e3;
+}
+
+}  // namespace
+
+std::string TraceSession::chrome_json() const {
+  const std::uint64_t origin = start_wall_ns_;
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\n\"traceEvents\": [\n";
+  bool first = true;
+  for (int rank = 0; rank < nranks(); ++rank) {
+    if (!first) out += ",\n";
+    first = false;
+    append_f(out,
+             "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+             "\"tid\": %d, \"args\": {\"name\": \"rank %d\"}}",
+             rank, rank);
+    const Ring& r = ring(rank);
+    const std::size_t n = r.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event& e = r[i];
+      out += ",\n";
+      switch (e.phase) {
+        case EvPhase::begin:
+          append_f(out,
+                   "{\"name\": \"%s\", \"cat\": \"epoch\", \"ph\": \"B\", "
+                   "\"pid\": 0, \"tid\": %d, \"ts\": %.3f, "
+                   "\"args\": {\"target\": %d, \"arg\": %" PRIu64 "}}",
+                   to_string(e.cls), rank, rel_us(e.wall_ns, origin),
+                   e.target, e.arg);
+          break;
+        case EvPhase::end:
+          append_f(out,
+                   "{\"name\": \"%s\", \"cat\": \"epoch\", \"ph\": \"E\", "
+                   "\"pid\": 0, \"tid\": %d, \"ts\": %.3f}",
+                   to_string(e.cls), rank, rel_us(e.wall_ns, origin));
+          break;
+        case EvPhase::issue:
+        case EvPhase::doorbell:
+        case EvPhase::complete:
+        case EvPhase::kCount:
+          append_f(out,
+                   "{\"name\": \"%s:%s\", \"cat\": \"op\", \"ph\": \"i\", "
+                   "\"s\": \"t\", \"pid\": 0, \"tid\": %d, \"ts\": %.3f, "
+                   "\"args\": {\"target\": %d, \"bytes\": %" PRIu64
+                   ", \"dur_ns\": %" PRIu64 ", \"sim_ns\": %" PRIu64 "}}",
+                   to_string(e.cls), to_string(e.phase), rank,
+                   rel_us(e.wall_ns, origin), e.target, e.arg, e.dur_ns,
+                   e.sim_ns);
+          break;
+      }
+    }
+  }
+  out += "\n],\n\"displayTimeUnit\": \"ns\",\n";
+  append_f(out,
+           "\"otherData\": {\"ranks\": %d, \"events\": %" PRIu64
+           ", \"dropped\": %" PRIu64 "}\n}\n",
+           nranks(), total_events(), total_dropped());
+  return out;
+}
+
+}  // namespace fompi::trace
