@@ -219,6 +219,33 @@ int main() {
         [] {}));
   }
 
+  // --- fault plan armed but quiescent -----------------------------------
+  // Every scheduled site lands inside the warmup (horizon_ops < kWarmup),
+  // so the timed loop pays only the armed-plan branch on the issue path.
+  // The guard: this must match put8_blocking_immediate — arming a fault
+  // plan may not tax the fault-free fast path (the measured-loop counter
+  // delta proves no fault fired: fault_injected is absent from its JSON).
+  {
+    DomainConfig cfg;
+    cfg.nranks = 2;
+    cfg.ranks_per_node = 1;
+    cfg.inject = Injection::none;
+    cfg.delivery = Delivery::immediate;
+    cfg.fault.seed = 42;
+    cfg.fault.transient_faults_per_rank = 2;
+    cfg.fault.horizon_ops = 100;  // all sites fire during warmup
+    cfg.fault.max_repeats = 2;
+    cfg.fault.retry_budget = 4;   // survivable: no failed handles linger
+    Domain dom(cfg);
+    Nic& nic = dom.nic(0);
+    AlignedBuffer mem(1 << 16);
+    const RegionDesc d = dom.registry().register_region(1, mem.data(), 1 << 16);
+    alignas(8) std::uint64_t src = 1;
+    results.push_back(run_case(
+        "put8_blocking_fault_armed_idle",
+        [&](int i) { nic.put(1, d, (i % 64) * 8u, &src, 8); }, [] {}));
+  }
+
   const TraceOverhead trace_ovh = measure_trace_overhead();
   emit_json(results, trace_ovh);
   if (!trace_ovh.untraced_clean) {

@@ -7,16 +7,20 @@ bench_datatype's "software"/"modeled" — into a single map of
 
     "<bench>/<section>/<case>" -> headline ns/op (ns_per_op or ns_per_elem)
 
-and writes BENCH_summary.json next to the inputs. Perfetto trace artifacts
-(*.trace.json) and a stale summary itself are skipped. Exits non-zero if no
-bench artifacts were found or one fails to parse, so CI catches a silently
-broken emission pipeline.
+and writes BENCH_summary.json next to the inputs. Fault-injection counters
+(fault_injected / op_retried / op_failed) that a case reports are exported
+alongside its headline metric as "<case>/<counter>", so a chaos or
+armed-plan bench run leaves its retry traffic in the summary. Perfetto
+trace artifacts (*.trace.json) and a stale summary itself are skipped.
+Exits non-zero if no bench artifacts were found or one fails to parse, so
+CI catches a silently broken emission pipeline.
 """
 import json
 import pathlib
 import sys
 
 HEADLINE_KEYS = ("ns_per_op", "ns_per_elem")
+FAULT_KEYS = ("fault_injected", "op_retried", "op_failed")
 
 
 def flatten(prefix, node, out):
@@ -27,6 +31,9 @@ def flatten(prefix, node, out):
                 if key in node:
                     out[f"{prefix}/{node['name']}"] = node[key]
                     break
+            for key in FAULT_KEYS:
+                if key in node:
+                    out[f"{prefix}/{node['name']}/{key}"] = node[key]
             return
         for key, child in node.items():
             if key == "cases":

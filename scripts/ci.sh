@@ -2,13 +2,20 @@
 # Tier-1 CI gate: everything a change must pass before merging.
 #
 #   1. Release build + full ctest suite (the tier-1 gate from ROADMAP.md)
-#   2. ThreadSanitizer build + the concurrency-heavy tests (datatype
+#   2. Seeded chaos gate: the fault-injection suite (hashtable + DSDE
+#      workloads under a survivable fault plan, seeds 11/22/33 baked into
+#      tests/test_fault.cpp) repeated to confirm the counters are a pure
+#      function of the seed
+#   3. ThreadSanitizer build + the concurrency-heavy tests (datatype
 #      flatten-cache sharing, RDMA issue paths, locks, comm, accumulate,
-#      flight-recorder tracing)
-#   3. Benchmark smoke run (bench_fastpath + bench_datatype JSON emission
+#      flight-recorder tracing, fault injection/recovery incl.
+#      Delivery::deferred under a fault plan)
+#   4. Benchmark smoke run (bench_fastpath + bench_datatype JSON emission
 #      and two figure benches)
-#   4. Trace-artifact gate: the Perfetto timeline bench_fig6b_fence emitted
+#   5. Trace-artifact gate: the Perfetto timeline bench_fig6b_fence emitted
 #      must be valid JSON and must have dropped zero events
+#   6. Fault fast-path gate: arming an (idle) fault plan must not tax the
+#      measured put8 issue path, and no fault may fire in its timed loop
 #
 # Runs from any directory; everything lands in build/ and build-tsan/.
 set -eu
@@ -19,15 +26,23 @@ cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Chaos determinism: each Chaos test runs its workload twice per seed and
+# asserts identical injected/retried/failed counters; repeating the whole
+# suite catches any schedule-order dependence the single run misses.
+./build/tests/test_fault --gtest_filter='Chaos.*' --gtest_repeat=3 \
+  --gtest_brief=1
+
 cmake -B build-tsan -G Ninja -DFOMPI_SANITIZE=thread
 cmake --build build-tsan --target \
-  test_rdma test_lock test_datatype test_comm test_accumulate test_trace
+  test_rdma test_lock test_datatype test_comm test_accumulate test_trace \
+  test_fault
 ./build-tsan/tests/test_rdma
 ./build-tsan/tests/test_lock
 ./build-tsan/tests/test_datatype
 ./build-tsan/tests/test_comm
 ./build-tsan/tests/test_accumulate
 ./build-tsan/tests/test_trace
+./build-tsan/tests/test_fault
 
 scripts/bench_smoke.sh
 
@@ -41,6 +56,25 @@ dropped = json.load(open("BENCH_fig6b_fence.trace.json"))["otherData"]["dropped"
 if dropped > 0:
     sys.exit(f"BENCH_fig6b_fence.trace.json: {dropped} events dropped "
              "(flight-recorder ring too small for the smoke run)")
+EOF
+
+# Fault fast-path gate. The armed-idle case runs with a fault plan whose
+# every scheduled site lands inside the warmup, so its timed loop must (a)
+# record zero fault counters and (b) cost about the same as the plain
+# blocking put8 (generous 1.5x bound: both numbers are ~17-19 ns and share
+# the scheduler noise of the one-core host).
+python3 - <<'EOF'
+import json, sys
+cases = {c["name"]: c for c in json.load(open("BENCH_fastpath.json"))["cases"]}
+base = cases["put8_blocking_immediate"]["ns_per_op"]
+armed = cases["put8_blocking_fault_armed_idle"]
+for counter in ("fault_injected", "op_retried", "op_failed"):
+    if armed.get(counter, 0) != 0:
+        sys.exit(f"armed-idle bench: {counter}={armed[counter]} in the "
+                 "timed loop (fault sites leaked past the warmup)")
+if armed["ns_per_op"] > 1.5 * base:
+    sys.exit(f"armed-idle put8 {armed['ns_per_op']:.1f} ns/op vs baseline "
+             f"{base:.1f} ns/op: arming a fault plan taxes the fast path")
 EOF
 
 echo "ci OK"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/backoff.hpp"
 #include "common/rng.hpp"
 
 namespace fompi::apps {
@@ -107,12 +108,15 @@ std::vector<DsdeMsg> exchange_nbx(fabric::RankCtx& ctx,
   std::vector<DsdeMsg> received;
   bool barrier_started = false;
   bool done = false;
+  Backoff backoff;  // reset on progress: back off only while truly idle
   while (!done) {
+    bool progressed = false;
     fabric::Status st;
     if (p2p.iprobe(ctx.rank(), fabric::kAnySource, kTagData, &st)) {
       std::uint64_t v = 0;
       p2p.recv(ctx.rank(), st.source, kTagData, &v, 8);
       received.push_back(DsdeMsg{st.source, v});
+      progressed = true;
     }
     if (!barrier_started) {
       bool all_sent = true;
@@ -125,11 +129,17 @@ std::vector<DsdeMsg> exchange_nbx(fabric::RankCtx& ctx,
       if (all_sent) {
         coll.ibarrier_begin(ctx.rank());
         barrier_started = true;
+        progressed = true;
       }
     } else if (coll.ibarrier_test(ctx.rank())) {
       done = true;
     }
     ctx.yield_check();
+    if (done || progressed) {
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
   }
   return received;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/backoff.hpp"
+
 namespace fompi::apps {
 
 namespace {
@@ -263,7 +265,9 @@ void MilcSolver::exchange_halos(fabric::RankCtx& ctx,
   std::array<std::vector<double>, 8> tmp;
   std::array<bool, 8> fetched{};
   int pending = 8;
+  Backoff backoff;  // reset on progress: back off only while truly idle
   while (pending > 0) {
+    const int before_pending = pending;
     for (int d = 0; d < 4; ++d) {
       for (int dir : {-1, +1}) {
         const int i = flag_index(d, dir);
@@ -281,7 +285,14 @@ void MilcSolver::exchange_halos(fabric::RankCtx& ctx,
         --pending;
       }
     }
-    if (pending > 0) ctx.yield_check();
+    if (pending > 0) {
+      ctx.yield_check();
+      if (pending == before_pending) {
+        backoff.pause();
+      } else {
+        backoff.reset();
+      }
+    }
   }
   win_.flush_all();  // all gets landed
   for (int d = 0; d < 4; ++d) {

@@ -17,6 +17,9 @@ const char* to_string(ErrClass ec) noexcept {
     case ErrClass::truncate:     return "FOMPI_ERR_TRUNCATE";
     case ErrClass::pending:      return "FOMPI_ERR_PENDING";
     case ErrClass::no_mem:       return "FOMPI_ERR_NO_MEM";
+    case ErrClass::timeout:      return "FOMPI_ERR_TIMEOUT";
+    case ErrClass::cq:           return "FOMPI_ERR_CQ";
+    case ErrClass::peer_dead:    return "FOMPI_ERR_PEER_DEAD";
   }
   return "FOMPI_ERR_UNKNOWN";
 }

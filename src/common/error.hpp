@@ -25,6 +25,9 @@ enum class ErrClass : std::uint32_t {
   truncate,       ///< receive buffer too small (two-sided baseline)
   pending,        ///< operation still pending where completion required
   no_mem,         ///< registration/allocation failure
+  timeout,        ///< NIC timeout / retry budget exhausted (fault model)
+  cq,             ///< completion-queue error reported by the NIC
+  peer_dead,      ///< target rank failed (fabric liveness epoch)
 };
 
 /// Human-readable name of an error class.
@@ -44,6 +47,19 @@ class Error : public std::runtime_error {
 };
 
 [[noreturn]] void raise(ErrClass ec, const std::string& what);
+
+/// Thrown by the simulated NIC when a FaultPlan kills the issuing rank.
+/// run_ranks() treats it specially: the rank is marked dead in the fabric
+/// liveness table and, under errors_return, the fleet is NOT aborted.
+class RankKilledError : public Error {
+ public:
+  explicit RankKilledError(int rank)
+      : Error(ErrClass::peer_dead, "rank killed by fault plan"), rank_(rank) {}
+  int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
 
 /// Precondition check used on public entry points. Kept on in release
 /// builds: argument validation is part of the library contract and its cost

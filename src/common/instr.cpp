@@ -23,6 +23,9 @@ const char* to_string(Op op) noexcept {
     case Op::flatten_cache_build: return "flatten_cache_build";
     case Op::vectored_op:      return "vectored_op";
     case Op::packed_bytes:     return "packed_bytes";
+    case Op::fault_injected:   return "fault_injected";
+    case Op::op_retried:       return "op_retried";
+    case Op::op_failed:        return "op_failed";
     case Op::kCount:           break;
   }
   return "unknown";

@@ -32,6 +32,9 @@ enum class Op : std::uint32_t {
   flatten_cache_build, ///< one-time tree walk at datatype construction
   vectored_op,       ///< one vectored (multi-fragment) NIC op issued
   packed_bytes,      ///< bytes staged through the pack/unpack protocol
+  fault_injected,    ///< one fault injected by the FaultPlan (any kind)
+  op_retried,        ///< one NIC-level retransmission of a faulted op
+  op_failed,         ///< one op retired with a failure status (budget spent)
   kCount,
 };
 

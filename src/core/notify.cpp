@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/backoff.hpp"
 #include "core/win_internal.hpp"
 #include "trace/trace.hpp"
 
@@ -79,8 +80,10 @@ void NotifyWin::wait_notify(int id, std::uint64_t count) {
   auto* word = reinterpret_cast<std::uint64_t*>(
       static_cast<std::byte*>(win_.base()) + notify_off(id));
   std::atomic_ref<std::uint64_t> counter(*word);
+  Backoff backoff;
   while (counter.load(std::memory_order_acquire) < count) {
     win_.yield_check();
+    backoff.pause();
   }
   counter.fetch_sub(count, std::memory_order_acq_rel);
   win_.sync();  // notified data readable after the fence

@@ -79,13 +79,16 @@ void Win::start(const fabric::Group& group) {
   const trace::Span tsp(trace::EvClass::pscw_start, -1,
                         static_cast<std::uint64_t>(group.size()));
   const CtrlLayout& L = s.layout;
+  rdma::Domain& d = s.fabric->domain();
   // Wait (purely locally) until every target of the access group has
   // announced its matching post, consuming one announcement each.
   for (int target : group) {
     FOMPI_REQUIRE(target >= 0 && target < s.nranks, ErrClass::rank,
                   "start: target out of range");
     const std::uint64_t want = slot_value(target);
+    Backoff backoff;
     bool found = false;
+    bool saw_dead = false;  // one full re-scan after observing the death
     while (!found) {
       for (int slot = 0; slot < L.max_neighbors; ++slot) {
         auto word = s.ctrl_word(rank_, L.slot_off(slot));
@@ -97,49 +100,119 @@ void Win::start(const fabric::Group& group) {
           break;
         }
       }
-      if (!found) s.fabric->yield_check();
+      if (!found) {
+        // A target the fault plan killed will never post; raise instead of
+        // spinning forever (a typed error in either ErrMode: there is no
+        // epoch to tear down yet). The target may have posted and THEN died
+        // inside our scan window — its announcement CAS precedes the death
+        // mark, so one more scan after observing the death settles it.
+        if (saw_dead) {
+          raise(ErrClass::peer_dead, "start: target rank died before posting");
+        }
+        if (d.death_epoch() != 0 && !d.alive(target)) {
+          saw_dead = true;
+          continue;
+        }
+        s.fabric->yield_check();
+        backoff.pause();
+      }
     }
   }
   rs.access_group = group;
 }
 
-void Win::complete() {
+rdma::OpStatus Win::complete_impl() {
   Shared& s = sh();
   RankState& rs = st();
   FOMPI_REQUIRE(rs.access_group.has_value(), ErrClass::rma_sync,
                 "complete without a matching start");
   const trace::Span tsp(trace::EvClass::pscw_complete, -1,
                         static_cast<std::uint64_t>(rs.access_group->size()));
+  rdma::Domain& d = s.fabric->domain();
   // Guarantee remote visibility of every RMA operation of this epoch, then
-  // bump each exposure side's completion counter.
-  commit_all();
+  // bump each exposure side's completion counter. Failed operations surface
+  // in the aggregate status, but the epoch is closed either way.
+  rdma::OpStatus status = commit_all_checked();
   rdma::Nic& n = nic();
   for (int target : *rs.access_group) {
-    n.amo(target, s.ctrl_desc[static_cast<std::size_t>(target)],
-          CtrlLayout::kCompletion, rdma::AmoOp::fetch_add, 1);
+    if (d.death_epoch() != 0 && !d.alive(target)) {
+      if (status == rdma::OpStatus::ok) status = rdma::OpStatus::peer_dead;
+      continue;  // a dead exposure side will never wait on the counter
+    }
+    try {
+      n.amo(target, s.ctrl_desc[static_cast<std::size_t>(target)],
+            CtrlLayout::kCompletion, rdma::AmoOp::fetch_add, 1);
+    } catch (const RankKilledError&) {
+      throw;
+    } catch (const Error& e) {
+      if (e.err_class() != ErrClass::timeout && e.err_class() != ErrClass::cq &&
+          e.err_class() != ErrClass::peer_dead) {
+        throw;
+      }
+      if (status == rdma::OpStatus::ok) {
+        status = e.err_class() == ErrClass::timeout ? rdma::OpStatus::timeout
+                 : e.err_class() == ErrClass::cq    ? rdma::OpStatus::cq_error
+                                                    : rdma::OpStatus::peer_dead;
+      }
+    }
   }
   rs.access_group.reset();
+  return status;
 }
 
-void Win::wait() {
+void Win::complete() { handle_failure(complete_impl(), "complete"); }
+
+rdma::OpStatus Win::complete_checked() { return complete_impl(); }
+
+rdma::OpStatus Win::wait_impl() {
   Shared& s = sh();
   RankState& rs = st();
   FOMPI_REQUIRE(rs.exposure_group.has_value(), ErrClass::rma_sync,
                 "wait without a matching post");
   const trace::Span tsp(trace::EvClass::pscw_wait, -1,
                         static_cast<std::uint64_t>(rs.exposure_group->size()));
+  rdma::Domain& d = s.fabric->domain();
   const auto expected =
       static_cast<std::uint64_t>(rs.exposure_group->size());
   auto counter = s.ctrl_word(rank_, CtrlLayout::kCompletion);
+  Backoff backoff;
   while (counter.load(std::memory_order_acquire) < expected) {
+    // An access-group member the fault plan killed may never call
+    // complete(): abandon the epoch (drain whatever completions arrived so
+    // the counter is clean for the next epoch) and report peer_dead. The
+    // counter is re-checked after observing the death — an origin may have
+    // bumped it and died afterwards (its AMO precedes the death mark), in
+    // which case the epoch finished and the normal path below applies.
+    if (d.death_epoch() != 0) {
+      bool origin_dead = false;
+      for (int origin : *rs.exposure_group) {
+        if (!d.alive(origin)) {
+          origin_dead = true;
+          break;
+        }
+      }
+      if (origin_dead &&
+          counter.load(std::memory_order_acquire) < expected) {
+        counter.exchange(0, std::memory_order_acq_rel);
+        nic().local_fence();
+        rs.exposure_group.reset();
+        return rdma::OpStatus::peer_dead;
+      }
+    }
     s.fabric->yield_check();
+    backoff.pause();
   }
   counter.fetch_sub(expected, std::memory_order_acq_rel);
   // The origins' puts are already globally visible (they committed before
   // incrementing the counter); a local fence orders our subsequent reads.
   nic().local_fence();
   rs.exposure_group.reset();
+  return rdma::OpStatus::ok;
 }
+
+void Win::wait() { handle_failure(wait_impl(), "wait"); }
+
+rdma::OpStatus Win::wait_checked() { return wait_impl(); }
 
 bool Win::test() {
   Shared& s = sh();

@@ -24,7 +24,12 @@ struct CtrlLayout {
   static constexpr std::size_t kAccLock = 24;    ///< accumulate fallback lock
   static constexpr std::size_t kDynId = 32;      ///< dynamic attach epoch id
   static constexpr std::size_t kDynInval = 40;   ///< cache invalidation flag
-  static constexpr std::size_t kSlots = 48;      ///< PSCW matching list
+  /// Exclusive-lock owner word: rank+1 of the current exclusive holder of
+  /// this rank's local lock, 0 when unowned. Maintained only when the fault
+  /// plan is armed (keeps the fault-free AMO counts exact); consulted by
+  /// spinners to revoke locks held by a rank the fault plan killed.
+  static constexpr std::size_t kLockOwner = 48;
+  static constexpr std::size_t kSlots = 56;      ///< PSCW matching list
 
   explicit CtrlLayout(const WinConfig& cfg)
       : max_neighbors(cfg.max_neighbors),
@@ -97,6 +102,8 @@ struct Win::RankState {
   int excl_held = 0;              // exclusive locks currently held
   std::optional<fabric::Group> access_group;
   std::optional<fabric::Group> exposure_group;
+  /// Last fault status recorded by a plain sync call under errors_return.
+  rdma::OpStatus last_error = rdma::OpStatus::ok;
 
   // --- dynamic-window descriptor cache (per target) -------------------------
   struct DynEntry {

@@ -237,7 +237,33 @@ void Win::require_access(int target) const {
 }
 
 void Win::commit_all() {
-  nic().gsync();
+  handle_failure(commit_all_checked(), "commit");
+}
+
+rdma::OpStatus Win::commit_all_checked() { return nic().gsync_status(); }
+
+void Win::handle_failure(rdma::OpStatus st_, const char* what) {
+  if (st_ == rdma::OpStatus::ok) return;
+  if (sh().cfg.err_mode == ErrMode::errors_return) {
+    st().last_error = st_;
+    return;
+  }
+  const ErrClass cls = st_ == rdma::OpStatus::timeout    ? ErrClass::timeout
+                       : st_ == rdma::OpStatus::cq_error ? ErrClass::cq
+                       : st_ == rdma::OpStatus::peer_dead ? ErrClass::peer_dead
+                                                          : ErrClass::internal;
+  raise(cls, std::string(what) + ": operation failed under the fault plan");
+}
+
+rdma::OpStatus Win::last_error() const { return st().last_error; }
+
+void Win::clear_last_error() { st().last_error = rdma::OpStatus::ok; }
+
+bool Win::peer_alive(int target) const {
+  Shared& s = sh();
+  FOMPI_REQUIRE(target >= 0 && target < s.nranks, ErrClass::rank,
+                "peer_alive: target out of range");
+  return s.fabric->domain().alive(target);
 }
 
 }  // namespace fompi::core

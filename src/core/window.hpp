@@ -47,6 +47,16 @@ enum class DynMode : std::uint8_t {
   notify,      ///< targets push invalidations to registered cachers
 };
 
+/// Window error-handler mode (MPI_Win_set_errhandler analogue). Controls
+/// what the plain (void) synchronization calls do when an operation retired
+/// with a typed fault status (timeout / cq_error / peer_dead):
+///   errors_are_fatal — raise a typed Error (default, MPI_ERRORS_ARE_FATAL);
+///   errors_return    — record the status (query with Win::last_error) and
+///                      return, so the caller can degrade gracefully. The
+///                      *_checked variants return the status directly and
+///                      behave identically under both modes.
+enum class ErrMode : std::uint8_t { errors_are_fatal, errors_return };
+
 /// Tuning knobs fixed at window creation.
 struct WinConfig {
   /// Capacity of the PSCW matching list: the maximum number of concurrent
@@ -60,6 +70,8 @@ struct WinConfig {
   /// Per-rank symmetric heap capacity, used when this window triggers heap
   /// construction (first allocated window on the fabric).
   std::size_t symheap_bytes = std::size_t{16} << 20;
+  /// Error-handler mode for fault-model failures (see ErrMode).
+  ErrMode err_mode = ErrMode::errors_are_fatal;
 };
 
 /// Completion handle for request-based operations (rput/rget/raccumulate).
@@ -147,6 +159,25 @@ class Win {
   void flush_local_all();
   /// Memory barrier for mixed direct-store / RMA access (MPI_Win_sync).
   void sync();
+
+  // --- error-returning synchronization (ErrMode-independent) -------------------
+  /// Like the void variants, but faults retire as a typed status instead of
+  /// raising / recording: rdma::OpStatus::ok on success, else the first
+  /// failure observed (timeout / cq_error / peer_dead). Epoch bookkeeping is
+  /// still torn down on failure so the window stays usable for recovery.
+  rdma::OpStatus lock_checked(LockType type, int target);
+  rdma::OpStatus unlock_checked(int target);
+  rdma::OpStatus flush_checked(int target);
+  rdma::OpStatus flush_all_checked();
+  rdma::OpStatus complete_checked();
+  rdma::OpStatus wait_checked();
+
+  /// Last fault status recorded by a plain call under ErrMode::errors_return
+  /// (ok if none since the last clear_last_error()).
+  rdma::OpStatus last_error() const;
+  void clear_last_error();
+  /// False once the fault plan killed `target` (fail-stop liveness view).
+  bool peer_alive(int target) const;
 
   // --- communication -----------------------------------------------------------
   /// Contiguous fast path: `len` bytes to byte displacement `tdisp`.
@@ -253,6 +284,20 @@ class Win {
 
   /// Commits all outstanding operations of this rank remotely.
   void commit_all();
+  /// Same, but returns the aggregated fault status instead of raising.
+  rdma::OpStatus commit_all_checked();
+  /// Routes a fault status through the window's ErrMode: ok is a no-op,
+  /// errors_return records it for last_error(), errors_are_fatal raises.
+  void handle_failure(rdma::OpStatus st, const char* what);
+
+  rdma::OpStatus lock_impl(LockType type, int target);
+  rdma::OpStatus unlock_impl(int target);
+  rdma::OpStatus complete_impl();
+  rdma::OpStatus wait_impl();
+  /// Dead-holder revocation: called by lock spinners when the fault plan is
+  /// armed; frees `target`'s local lock word if its recorded exclusive owner
+  /// died mid-critical-section.
+  void try_revoke_dead_owner(int target);
 
   std::shared_ptr<Shared> shared_;
   int rank_ = -1;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <bit>
 
+#include "common/backoff.hpp"
 #include "common/error.hpp"
 #include "trace/trace.hpp"
 
@@ -57,7 +58,27 @@ void Collectives::barrier(int rank) {
     const std::size_t off = static_cast<std::size_t>(r) * kFlagBytes;
     nic.put(partner, flag_desc_[static_cast<std::size_t>(partner)], off, &gen,
             kFlagBytes);
-    while (load_flag(rank, /*ib=*/false, r) < gen) yield_check_();
+    // Round r's flag is written by rank - 2^r (mod p). If that writer died
+    // (fault-plan kill under errors_return) its flag never arrives; raise a
+    // typed peer_dead instead of spinning forever. death_epoch() keeps the
+    // common no-deaths case to one load. The flag must be re-checked AFTER
+    // observing the death: on a one-core host the writer can deliver its
+    // flag, run ahead, and die all inside our yield window, and its flag
+    // stores precede the death mark — so only a flag still missing from a
+    // dead writer can never arrive.
+    const int writer = static_cast<int>(
+        (static_cast<std::uint64_t>(rank) + static_cast<std::uint64_t>(p) -
+         ((1ull << r) % static_cast<std::uint64_t>(p))) %
+        static_cast<std::uint64_t>(p));
+    Backoff backoff;
+    while (load_flag(rank, /*ib=*/false, r) < gen) {
+      yield_check_();
+      if (domain_.death_epoch() != 0 && !domain_.alive(writer) &&
+          load_flag(rank, /*ib=*/false, r) < gen) {
+        raise(ErrClass::peer_dead, "barrier: peer rank died");
+      }
+      backoff.pause();
+    }
   }
 }
 

@@ -5,11 +5,15 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/timing.hpp"
 #include "trace/trace.hpp"
 
 namespace fompi::fabric {
 
 Fabric::Fabric(FabricOptions opts) : opts_(opts), domain_(opts.domain) {
+  if (opts_.hang_timeout_ns != 0) {
+    watchdog_deadline_ns_ = now_ns() + opts_.hang_timeout_ns;
+  }
   coll_ = std::make_unique<Collectives>(domain_, [this] { yield_check(); });
   p2p_ = std::make_unique<P2P>(domain_, [this] { yield_check(); },
                                opts_.eager_threshold);
@@ -38,7 +42,7 @@ std::shared_ptr<void> Fabric::ext_put_once(const std::string& key,
   return it->second;
 }
 
-void Fabric::abort(std::exception_ptr e) noexcept {
+void Fabric::abort(std::exception_ptr e) const noexcept {
   {
     std::scoped_lock lock(abort_mu_);
     if (first_error_ == nullptr) first_error_ = e;
@@ -47,6 +51,15 @@ void Fabric::abort(std::exception_ptr e) noexcept {
 }
 
 void Fabric::check_abort() const {
+  // Hang watchdog: every spinning rank funnels through here (yield_check
+  // and the NIC progress hook), so a silently hung peer — one that never
+  // throws — still gets the fleet unwound with a typed timeout.
+  if (watchdog_deadline_ns_ != 0 &&
+      !aborted_.load(std::memory_order_relaxed) &&
+      now_ns() > watchdog_deadline_ns_) {
+    abort(std::make_exception_ptr(
+        Error(ErrClass::timeout, "fabric hang watchdog expired")));
+  }
   if (aborted_.load(std::memory_order_acquire)) {
     raise(ErrClass::internal, "aborted: a peer rank failed");
   }
@@ -74,6 +87,15 @@ void run_ranks(int nranks, const std::function<void(RankCtx&)>& body,
       RankCtx ctx(fabric, r);
       try {
         body(ctx);
+      } catch (const RankKilledError&) {
+        // A fault-plan kill is a *modeled* failure, not a bug: the NIC
+        // already marked the rank dead in the liveness table. Under
+        // errors_return the survivors keep running and observe the death
+        // as typed peer_dead statuses; otherwise it aborts the fleet like
+        // any other failure.
+        if (!fabric.options().errors_return) {
+          fabric.abort(std::current_exception());
+        }
       } catch (...) {
         fabric.abort(std::current_exception());
       }

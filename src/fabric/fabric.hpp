@@ -25,6 +25,17 @@ namespace fompi::fabric {
 struct FabricOptions {
   rdma::DomainConfig domain{};
   std::size_t eager_threshold = 8192;
+  /// MPI_ERRORS_RETURN analogue at fleet scope: a rank killed by the fault
+  /// plan exits its thread quietly (liveness table updated) instead of
+  /// aborting the fleet; surviving ranks observe the death as typed
+  /// peer_dead failures. Default (false) keeps errors-are-fatal: any rank
+  /// death aborts everyone.
+  bool errors_return = false;
+  /// Hang watchdog: if nonzero, any spin that reaches check_abort() after
+  /// this many wall nanoseconds since fabric construction aborts the fleet
+  /// with ErrClass::timeout. Catches silently hung ranks (e.g.
+  /// FaultPlan::hang_instead_of_kill) that never throw. 0 = disabled.
+  std::uint64_t hang_timeout_ns = 0;
 };
 
 class Fabric {
@@ -37,8 +48,9 @@ class Fabric {
   P2P& p2p() noexcept { return *p2p_; }
   const FabricOptions& options() const noexcept { return opts_; }
 
-  /// Records the first failure and wakes all spinners.
-  void abort(std::exception_ptr e) noexcept;
+  /// Records the first failure and wakes all spinners. Const because the
+  /// hang watchdog fires from check_abort() on any spinning rank.
+  void abort(std::exception_ptr e) const noexcept;
   /// Throws if a peer rank has failed.
   void check_abort() const;
   /// One spin iteration: yield, then propagate peer failure if any.
@@ -61,9 +73,10 @@ class Fabric {
   rdma::Domain domain_;
   std::unique_ptr<Collectives> coll_;
   std::unique_ptr<P2P> p2p_;
-  std::atomic<bool> aborted_{false};
+  mutable std::atomic<bool> aborted_{false};
   mutable std::mutex abort_mu_;
-  std::exception_ptr first_error_;
+  mutable std::exception_ptr first_error_;
+  std::uint64_t watchdog_deadline_ns_ = 0;  // 0 = watchdog off
   mutable std::mutex ext_mu_;
   std::unordered_map<std::string, std::shared_ptr<void>> ext_;
 };

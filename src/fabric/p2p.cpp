@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/backoff.hpp"
 #include "common/error.hpp"
 #include "common/instr.hpp"
 #include "common/timing.hpp"
@@ -56,8 +57,19 @@ void P2P::complete_now(const std::shared_ptr<detail::ReqState>& st, int src,
   st->done.store(true, std::memory_order_release);
 }
 
-void P2P::spin_until_done(detail::ReqState& st) {
-  while (!st.done.load(std::memory_order_acquire)) yield_check_();
+void P2P::spin_until_done(detail::ReqState& st, int peer) {
+  Backoff backoff;
+  while (!st.done.load(std::memory_order_acquire)) {
+    yield_check_();
+    // Re-check done after observing the death: the peer may have completed
+    // this request and died afterwards inside our yield window (its
+    // completion store precedes the death mark).
+    if (peer >= 0 && domain_.death_epoch() != 0 && !domain_.alive(peer) &&
+        !st.done.load(std::memory_order_acquire)) {
+      raise(ErrClass::peer_dead, "p2p: peer rank died");
+    }
+    backoff.pause();
+  }
   const std::uint64_t ready = st.ready_at.load(std::memory_order_relaxed);
   const std::uint64_t t = now_ns();
   if (ready > t) spin_for_ns(ready - t);
@@ -127,13 +139,13 @@ void P2P::deposit(int me, int dst, int tag, const void* buf, std::size_t len,
 void P2P::send(int me, int dst, int tag, const void* buf, std::size_t len) {
   auto sreq = std::make_shared<detail::ReqState>();
   deposit(me, dst, tag, buf, len, /*synchronous=*/false, sreq);
-  spin_until_done(*sreq);
+  spin_until_done(*sreq, dst);
 }
 
 void P2P::ssend(int me, int dst, int tag, const void* buf, std::size_t len) {
   auto sreq = std::make_shared<detail::ReqState>();
   deposit(me, dst, tag, buf, len, /*synchronous=*/true, sreq);
-  spin_until_done(*sreq);
+  spin_until_done(*sreq, dst);
 }
 
 P2PRequest P2P::isend(int me, int dst, int tag, const void* buf,

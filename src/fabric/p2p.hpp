@@ -131,7 +131,11 @@ class P2P {
   void complete_now(const std::shared_ptr<detail::ReqState>& st, int src,
                     int tag, std::size_t len, std::uint64_t ready_at,
                     bool truncated);
-  void spin_until_done(detail::ReqState& st);
+  /// Spins until the request completes, with exponential backoff. When
+  /// `peer` is a valid rank, a fault-plan death of that peer raises a typed
+  /// peer_dead error instead of spinning forever (-1 = unknown peer, e.g. a
+  /// wildcard receive).
+  void spin_until_done(detail::ReqState& st, int peer = -1);
 
   rdma::Domain& domain_;
   std::function<void()> yield_check_;

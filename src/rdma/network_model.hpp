@@ -110,4 +110,66 @@ enum class Delivery : std::uint8_t {
               ///< (weakest legal RDMA behaviour; failure-injection mode)
 };
 
+/// Typed outcome of an operation, surfaced by the error-returning NIC and
+/// window APIs (wait_status/test_status/gsync_status, *_checked). The
+/// legacy void APIs map every non-ok status to a thrown Error of the
+/// matching ErrClass.
+enum class OpStatus : std::uint8_t {
+  ok,         ///< completed successfully
+  pending,    ///< not complete yet (test_status only)
+  retired,    ///< handle already retired or stale (ABA tag mismatch)
+  timeout,    ///< NIC timeout / dropped doorbell: retry budget exhausted
+  cq_error,   ///< completion-queue error: retry budget exhausted
+  peer_dead,  ///< the target rank is dead (fabric liveness epoch)
+};
+
+const char* to_string(OpStatus st) noexcept;
+
+/// Kinds of injectable faults. The transient kinds (nic_timeout, cq_error,
+/// dropped_doorbell) are retried by the NIC with exponential backoff up to
+/// FaultPlan::retry_budget; latency_spike only stretches the modeled
+/// completion time of the affected op.
+enum class FaultKind : std::uint8_t {
+  none,
+  nic_timeout,       ///< FMA transaction timed out at the origin
+  cq_error,          ///< the CQ reported an error completion
+  dropped_doorbell,  ///< doorbell write lost; op re-rung after a timeout
+  latency_spike,     ///< op completes, but spike_scale times slower
+};
+
+const char* to_string(FaultKind k) noexcept;
+
+/// Seeded, deterministic fault schedule, composable with the Injection and
+/// Delivery knobs. Faults fire at FIXED per-rank op indices drawn from
+/// Rng(seed, rank) within [0, horizon_ops) — not per-op probability draws —
+/// so the final fault counters are an exact function of the seed as long as
+/// each rank issues at least horizon_ops operations, immune to scheduling
+/// nondeterminism in CAS-retry loops.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Transient fault sites scheduled per rank (0 disables transients).
+  int transient_faults_per_rank = 0;
+  /// Fault op-indices are drawn uniformly from [0, horizon_ops).
+  std::uint64_t horizon_ops = 256;
+  /// Consecutive injections per fault site are drawn from [1, max_repeats].
+  /// Sites with repeats <= retry_budget are survivable; sites beyond the
+  /// budget retire the op with a typed failure status.
+  int max_repeats = 1;
+  /// NIC retransmission budget per op (bounded exponential backoff).
+  int retry_budget = 4;
+  /// Modeled-latency multiplier applied by latency_spike faults.
+  double spike_scale = 8.0;
+  /// Rank scheduled to die (or hang) at its kill_at_op-th issued op
+  /// (-1 = nobody dies).
+  int kill_rank = -1;
+  std::uint64_t kill_at_op = 0;
+  /// Instead of dying (RankKilledError), the rank parks in an abortable
+  /// spin — a silent hang, broken only by the fabric hang watchdog.
+  bool hang_instead_of_kill = false;
+
+  bool enabled() const noexcept {
+    return transient_faults_per_rank > 0 || kill_rank >= 0;
+  }
+};
+
 }  // namespace fompi::rdma

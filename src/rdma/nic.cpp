@@ -5,13 +5,54 @@
 #include <cstring>
 #include <thread>
 
+#include "common/backoff.hpp"
+#include "common/error.hpp"
 #include "common/instr.hpp"
 #include "common/timing.hpp"
 #include "trace/trace.hpp"
 
 namespace fompi::rdma {
 
+const char* to_string(OpStatus st) noexcept {
+  switch (st) {
+    case OpStatus::ok:        return "ok";
+    case OpStatus::pending:   return "pending";
+    case OpStatus::retired:   return "retired";
+    case OpStatus::timeout:   return "timeout";
+    case OpStatus::cq_error:  return "cq_error";
+    case OpStatus::peer_dead: return "peer_dead";
+  }
+  return "unknown";
+}
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::none:             return "none";
+    case FaultKind::nic_timeout:      return "nic_timeout";
+    case FaultKind::cq_error:         return "cq_error";
+    case FaultKind::dropped_doorbell: return "dropped_doorbell";
+    case FaultKind::latency_spike:    return "latency_spike";
+  }
+  return "unknown";
+}
+
 namespace {
+
+/// ErrClass the legacy (errors-are-fatal) completion APIs throw for a
+/// typed op failure.
+ErrClass err_class_of(OpStatus st) noexcept {
+  switch (st) {
+    case OpStatus::timeout:   return ErrClass::timeout;
+    case OpStatus::cq_error:  return ErrClass::cq;
+    case OpStatus::peer_dead: return ErrClass::peer_dead;
+    default:                  return ErrClass::internal;
+  }
+}
+
+[[noreturn]] void raise_status(OpStatus st, const char* where) {
+  raise(err_class_of(st),
+        std::string(where) + ": operation failed (" + to_string(st) + ")");
+}
 
 template <class Word>
 bool word_aligned(const void* p) noexcept {
@@ -71,7 +112,153 @@ void fetch_bytes(void* dst, const void* src, std::size_t len) {
 }  // namespace
 
 Nic::Nic(Domain& domain, int rank)
-    : domain_(domain), rank_(rank), rng_(domain.config().seed + 0x9e37 * rank) {}
+    : domain_(domain), rank_(rank), rng_(domain.config().seed + 0x9e37 * rank) {
+  const FaultPlan& plan = domain.config().fault;
+  if (!plan.enabled()) return;
+  fault_armed_ = true;
+  if (plan.transient_faults_per_rank > 0) {
+    // Per-rank fault stream: a pure function of (plan.seed, rank),
+    // independent of the domain's workload seed so fault schedules don't
+    // shift when a test changes its data pattern.
+    Rng frng(plan.seed ^
+             (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(rank) + 1)));
+    fault_sched_.reserve(
+        static_cast<std::size_t>(plan.transient_faults_per_rank));
+    const std::uint64_t horizon = std::max<std::uint64_t>(1, plan.horizon_ops);
+    const std::uint64_t repeat_span =
+        static_cast<std::uint64_t>(std::max(1, plan.max_repeats));
+    for (int i = 0; i < plan.transient_faults_per_rank; ++i) {
+      FaultSite site;
+      site.at_op = frng.below(horizon);
+      switch (frng.below(4)) {
+        case 0:  site.kind = FaultKind::nic_timeout; break;
+        case 1:  site.kind = FaultKind::cq_error; break;
+        case 2:  site.kind = FaultKind::dropped_doorbell; break;
+        default: site.kind = FaultKind::latency_spike; break;
+      }
+      site.repeats = 1 + static_cast<int>(frng.below(repeat_span));
+      fault_sched_.push_back(site);
+    }
+    std::stable_sort(fault_sched_.begin(), fault_sched_.end(),
+                     [](const FaultSite& a, const FaultSite& b) {
+                       return a.at_op < b.at_op;
+                     });
+  }
+  update_next_fault_op();
+}
+
+void Nic::update_next_fault_op() noexcept {
+  const FaultPlan& plan = domain_.config().fault;
+  std::uint64_t next = fault_next_ < fault_sched_.size()
+                           ? fault_sched_[fault_next_].at_op
+                           : ~std::uint64_t{0};
+  if (rank_ == plan.kill_rank && issued_ops_ <= plan.kill_at_op &&
+      plan.kill_at_op < next) {
+    next = plan.kill_at_op;
+  }
+  next_fault_op_ = next;
+}
+
+Nic::FaultVerdict Nic::pre_issue_fault_slow(int target, bool is_read,
+                                            std::uint64_t my_op) {
+  const FaultPlan& plan = domain_.config().fault;
+
+  // Scheduled death: this rank dies (or silently hangs) at its
+  // kill_at_op-th issued operation.
+  if (rank_ == plan.kill_rank && my_op == plan.kill_at_op) {
+    if (plan.hang_instead_of_kill) {
+      // Park in an abortable spin: a silent hang, broken only by the
+      // fabric hang watchdog (progress_check raises once the fleet
+      // aborts).
+      for (;;) {
+        std::this_thread::yield();
+        domain_.progress_check();
+      }
+    }
+    domain_.mark_dead(rank_);
+    trace::emit(trace::EvClass::fault, trace::EvPhase::complete, rank_,
+                static_cast<std::uint64_t>(OpStatus::peer_dead));
+    throw RankKilledError(rank_);
+  }
+
+  // Writes and mutating AMOs addressed to a dead rank retire with
+  // peer_dead; reads of its frozen memory image succeed (fail-stop
+  // recovery model, see Domain::alive). death_epoch() is a cheap monotonic
+  // pre-filter so the common no-deaths case is one load.
+  if (!is_read && domain_.death_epoch() != 0 && !domain_.alive(target)) {
+    count(Op::op_failed);
+    trace::emit(trace::EvClass::fault, trace::EvPhase::complete, target,
+                static_cast<std::uint64_t>(OpStatus::peer_dead));
+    return {OpStatus::peer_dead, 1.0};
+  }
+
+  // Scheduled faults at fixed op indices. Multiple sites on one index
+  // compose in schedule order; sites shadowed by an earlier permanent
+  // failure on the same index (at_op < my_op by the time we look again)
+  // are consumed without firing.
+  FaultVerdict v;
+  while (fault_next_ < fault_sched_.size() &&
+         fault_sched_[fault_next_].at_op <= my_op) {
+    const FaultSite site = fault_sched_[fault_next_++];
+    if (site.at_op != my_op) continue;
+    if (site.kind == FaultKind::latency_spike) {
+      count(Op::fault_injected);
+      trace::emit(trace::EvClass::fault, trace::EvPhase::issue, target,
+                  static_cast<std::uint64_t>(site.kind));
+      v.latency_scale *= plan.spike_scale;
+      continue;
+    }
+    // Bounded retransmission. Attempt k of the op is faulted while
+    // k <= site.repeats; each faulted attempt below the retry budget
+    // triggers one backed-off retry. The op survives iff
+    // repeats <= retry_budget; counters are therefore an exact function
+    // of the schedule: injections = min(repeats, budget + 1),
+    // retries = min(repeats, budget), failed = (repeats > budget).
+    Backoff backoff;
+    int remaining = site.repeats;
+    int retries = 0;
+    while (remaining > 0) {
+      --remaining;
+      count(Op::fault_injected);
+      trace::emit(trace::EvClass::fault, trace::EvPhase::issue, target,
+                  static_cast<std::uint64_t>(site.kind));
+      if (retries == plan.retry_budget) {
+        count(Op::op_failed);
+        const OpStatus st = site.kind == FaultKind::cq_error
+                                ? OpStatus::cq_error
+                                : OpStatus::timeout;
+        trace::emit(trace::EvClass::fault, trace::EvPhase::complete, target,
+                    static_cast<std::uint64_t>(st));
+        v.status = st;
+        update_next_fault_op();
+        return v;
+      }
+      ++retries;
+      count(Op::op_retried);
+      trace::emit(trace::EvClass::fault, trace::EvPhase::retry, target,
+                  static_cast<std::uint64_t>(site.kind));
+      backoff.pause();
+    }
+  }
+  update_next_fault_op();
+  return v;
+}
+
+Handle Nic::make_failed_handle(OpStatus st, bool implicit) {
+  if (implicit) {
+    ++implicit_failed_;
+    if (implicit_fail_status_ == OpStatus::ok) implicit_fail_status_ = st;
+    return kDoneHandle;
+  }
+  const std::uint32_t idx = acquire_slot();
+  PendingOp& op = slab_[idx].op;
+  op.kind = PendingOp::Kind::put;
+  op.implicit = false;
+  op.applied = true;  // nothing to apply: the op never reached the wire
+  op.len = 0;
+  op.status = st;
+  return encode(idx, slab_[idx].tag);
+}
 
 bool Nic::inter_node(int target) const noexcept {
   return !domain_.same_node(rank_, target);
@@ -271,6 +458,21 @@ Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
   const bool inter = inter_node(target);
   std::byte* remote = resolve_cached(rd.rkey, target, offset, req.len);
 
+  // Fault plan gate: one predictable branch when disarmed. A permanent
+  // failure retires the op here — before the transport counters — so the
+  // transport_* counts only ever reflect ops that reached the wire.
+  double fault_scale = 1.0;
+  if (fault_armed_) {
+    const bool is_read =
+        req.kind == PendingOp::Kind::get ||
+        (req.kind == PendingOp::Kind::amo && req.aop == AmoOp::read);
+    const FaultVerdict fv = pre_issue_fault(target, is_read);
+    if (fv.status != OpStatus::ok) {
+      return make_failed_handle(fv.status, implicit);
+    }
+    fault_scale = fv.latency_scale;
+  }
+
   switch (req.kind) {
     case PendingOp::Kind::put: count(Op::transport_put); break;
     case PendingOp::Kind::get: count(Op::transport_get); break;
@@ -310,7 +512,7 @@ Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
     const double scale = cfg.time_scale;
     const std::uint64_t issue_start = now_ns();
     spin_for_ns(static_cast<std::uint64_t>(overhead_ns * scale));
-    model_lat = static_cast<std::uint64_t>(latency_ns * scale);
+    model_lat = static_cast<std::uint64_t>(latency_ns * scale * fault_scale);
     complete_at = issue_start + model_lat;
     latest_complete_at_ = std::max(latest_complete_at_, complete_at);
   }
@@ -391,6 +593,18 @@ Handle Nic::issue_vec(int target, const RegionDesc& rd, std::size_t base_off,
   // touches (fragment offsets are relative to base_off).
   std::byte* remote = resolve_cached(rd.rkey, target, base_off, span_len);
 
+  // Fault plan gate (see issue()): the whole vector is one op behind one
+  // doorbell, so it faults and retires as one unit.
+  double fault_scale = 1.0;
+  if (fault_armed_) {
+    const FaultVerdict fv =
+        pre_issue_fault(target, /*is_read=*/kind == PendingOp::Kind::get);
+    if (fv.status != OpStatus::ok) {
+      return make_failed_handle(fv.status, implicit);
+    }
+    fault_scale = fv.latency_scale;
+  }
+
   std::size_t total = 0;
   for (std::size_t i = 0; i < nfrags; ++i) total += frags[i].len;
 
@@ -417,7 +631,7 @@ Handle Nic::issue_vec(int target, const RegionDesc& rd, std::size_t base_off,
     const double scale = cfg.time_scale;
     const std::uint64_t issue_start = now_ns();
     spin_for_ns(static_cast<std::uint64_t>(overhead_ns * scale));
-    model_lat = static_cast<std::uint64_t>(latency_ns * scale);
+    model_lat = static_cast<std::uint64_t>(latency_ns * scale * fault_scale);
     complete_at = issue_start + model_lat;
     latest_complete_at_ = std::max(latest_complete_at_, complete_at);
   }
@@ -603,6 +817,11 @@ bool Nic::test(Handle h) {
   if (h == kDoneHandle) return true;
   Slot* s = lookup(h);
   FOMPI_REQUIRE(s != nullptr, ErrClass::arg, "test: unknown handle");
+  if (s->op.status != OpStatus::ok) {
+    const OpStatus st = s->op.status;
+    release_slot(static_cast<std::uint32_t>(h));
+    raise_status(st, "test");
+  }
   if (domain_.config().inject == Injection::model &&
       now_ns() < s->op.complete_at) {
     return false;
@@ -617,13 +836,70 @@ void Nic::wait(Handle h) {
   if (h == kDoneHandle) return;
   Slot* s = lookup(h);
   FOMPI_REQUIRE(s != nullptr, ErrClass::arg, "wait: unknown handle");
+  if (s->op.status != OpStatus::ok) {
+    const OpStatus st = s->op.status;
+    release_slot(static_cast<std::uint32_t>(h));
+    raise_status(st, "wait");
+  }
   wait_model_time(s->op.complete_at);
   apply(s->op);
   trace_retire(s->op);
   release_slot(static_cast<std::uint32_t>(h));
 }
 
+bool Nic::test_status(Handle h, OpStatus* out) {
+  FOMPI_REQUIRE(out != nullptr, ErrClass::arg, "test_status: null out");
+  if (h == kDoneHandle) {
+    *out = OpStatus::ok;
+    return true;
+  }
+  Slot* s = lookup(h);
+  if (s == nullptr) {
+    // Stale or double-waited handle: retires with a typed status instead
+    // of throwing (or worse, aliasing a recycled slot — the ABA tag rules
+    // that out).
+    *out = OpStatus::retired;
+    return true;
+  }
+  if (s->op.status != OpStatus::ok) {
+    *out = s->op.status;
+    release_slot(static_cast<std::uint32_t>(h));
+    return true;
+  }
+  if (domain_.config().inject == Injection::model &&
+      now_ns() < s->op.complete_at) {
+    *out = OpStatus::pending;
+    return false;
+  }
+  apply(s->op);
+  trace_retire(s->op);
+  release_slot(static_cast<std::uint32_t>(h));
+  *out = OpStatus::ok;
+  return true;
+}
+
+OpStatus Nic::wait_status(Handle h) {
+  if (h == kDoneHandle) return OpStatus::ok;
+  Slot* s = lookup(h);
+  if (s == nullptr) return OpStatus::retired;
+  if (s->op.status != OpStatus::ok) {
+    const OpStatus st = s->op.status;
+    release_slot(static_cast<std::uint32_t>(h));
+    return st;
+  }
+  wait_model_time(s->op.complete_at);
+  apply(s->op);
+  trace_retire(s->op);
+  release_slot(static_cast<std::uint32_t>(h));
+  return OpStatus::ok;
+}
+
 void Nic::gsync() {
+  const OpStatus st = gsync_status();
+  if (st != OpStatus::ok) raise_status(st, "gsync");
+}
+
+OpStatus Nic::gsync_status() {
   count(Op::bulk_sync);
   const trace::Span sp(trace::EvClass::bulk_sync, -1, outstanding());
   // Drain deferred operations, optionally in shuffled order to model the
@@ -648,6 +924,12 @@ void Nic::gsync() {
   wait_model_time(latest_complete_at_);
   implicit_live_ = 0;
   local_fence();
+  // Surface the first implicit-op failure recorded since the previous
+  // gsync, then reset: each bulk-completion epoch reports independently.
+  const OpStatus st = implicit_fail_status_;
+  implicit_fail_status_ = OpStatus::ok;
+  implicit_failed_ = 0;
+  return st;
 }
 
 void Nic::local_fence() {
@@ -659,6 +941,11 @@ Domain::Domain(DomainConfig cfg) : cfg_(cfg) {
   FOMPI_REQUIRE(cfg_.nranks >= 1, ErrClass::arg, "Domain needs >= 1 rank");
   FOMPI_REQUIRE(cfg_.ranks_per_node >= 0, ErrClass::arg,
                 "ranks_per_node must be >= 0");
+  dead_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    dead_[static_cast<std::size_t>(r)].store(false, std::memory_order_relaxed);
+  }
   nics_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r) {
     nics_.push_back(std::make_unique<Nic>(*this, r));

@@ -125,12 +125,29 @@ class Nic {
 
   // --- completion ------------------------------------------------------------
   /// True (and retires the handle) once the operation completed.
+  /// Throws on a stale handle or a failed op (legacy errors-are-fatal API).
   bool test(Handle h);
-  /// Blocks until the operation completed; retires the handle.
+  /// Blocks until the operation completed; retires the handle. Throws a
+  /// typed Error (timeout/cq/peer_dead) if the op retired with a failure.
   void wait(Handle h);
   /// Bulk completion of ALL outstanding operations of this NIC (DMAPP
   /// gsync). Guarantees remote visibility of every put/amo issued so far.
+  /// Throws if any implicit op retired with a failure status.
   void gsync();
+
+  // --- error-returning completion (MPI_ERRORS_RETURN analogue) ---------------
+  /// Nonblocking completion probe. Returns true once the handle is retired;
+  /// *out then holds the op's final status (ok or a typed failure). A stale
+  /// or double-waited handle retires immediately with OpStatus::retired
+  /// instead of aliasing a recycled slot or throwing.
+  bool test_status(Handle h, OpStatus* out);
+  /// Blocking completion; returns the op's typed final status. Never
+  /// throws for fault-model outcomes (stale handle -> OpStatus::retired).
+  OpStatus wait_status(Handle h);
+  /// Bulk completion; returns ok or the first implicit-op failure recorded
+  /// since the previous gsync (and clears it).
+  OpStatus gsync_status();
+
   /// Local memory fence (x86 mfence equivalent); orders CPU stores for the
   /// intra-node path.
   void local_fence();
@@ -147,6 +164,23 @@ class Nic {
   std::size_t outstanding() const noexcept {
     return explicit_outstanding() + implicit_outstanding();
   }
+
+  // --- fault plan introspection (tests / diagnostics) ------------------------
+  /// One scheduled transient fault: fires when this NIC issues its
+  /// at_op-th operation, injecting `kind` for `repeats` consecutive
+  /// (re)issues of that op.
+  struct FaultSite {
+    std::uint64_t at_op = 0;
+    FaultKind kind = FaultKind::none;
+    int repeats = 1;
+  };
+  /// The precomputed per-rank schedule (empty when the plan is disabled).
+  /// Deterministic: a pure function of (plan.seed, rank).
+  const std::vector<FaultSite>& fault_schedule() const noexcept {
+    return fault_sched_;
+  }
+  /// Operations issued by this NIC so far (fault-plan op index).
+  std::uint64_t issued_ops() const noexcept { return issued_ops_; }
 
  private:
   struct PendingOp {
@@ -167,6 +201,7 @@ class Nic {
     std::uint64_t complete_at = 0;  // ns timestamp when model says done
 
     std::size_t staged_len = 0;  // deferred put payload length
+    OpStatus status = OpStatus::ok;  // typed failure, set at issue time
     alignas(8) std::array<std::byte, kInlineStage> stage_{};
     std::vector<std::byte> spill_;  // payloads > kInlineStage only
     std::vector<Frag> frags_;  // vectored-op fragments (capacity recycled)
@@ -187,6 +222,7 @@ class Nic {
       applied = false;
       fetch_out = nullptr;
       staged_len = 0;
+      status = OpStatus::ok;
       complete_at = 0;
       frags_.clear();
     }
@@ -244,6 +280,33 @@ class Nic {
   void trace_retire(const PendingOp& op) noexcept;
   void wait_model_time(std::uint64_t complete_at);
 
+  /// Per-issue fault-plan gate: advances the op index, fires the kill/hang
+  /// schedule, runs the bounded retransmission loop for a scheduled
+  /// transient fault, and detects a dead target. Reads (`is_read`) of a
+  /// dead rank's frozen memory image still succeed — that is what lets
+  /// survivors inspect a dead peer's protocol words to revoke its locks —
+  /// while writes and mutating AMOs retire with peer_dead. Returns the
+  /// status the op must retire with (ok = proceed) and a latency
+  /// multiplier.
+  struct FaultVerdict {
+    OpStatus status = OpStatus::ok;
+    double latency_scale = 1.0;
+  };
+  /// Armed-plan fast gate (inline, defined after Domain below): advances
+  /// the op index and falls through in two compares when nothing can fire
+  /// at this index, so an armed-but-idle plan stays within noise of the
+  /// disarmed path (bench_fastpath's put8_blocking_fault_armed_idle case).
+  FaultVerdict pre_issue_fault(int target, bool is_read);
+  /// Out-of-line worker: kill/hang schedule, dead-target detection, and
+  /// the bounded retransmission loop for a scheduled transient fault.
+  FaultVerdict pre_issue_fault_slow(int target, bool is_read,
+                                    std::uint64_t my_op);
+  /// Recomputes next_fault_op_ = earliest op index at which the kill or
+  /// the next unconsumed schedule entry can fire (~0 when neither can).
+  void update_next_fault_op() noexcept;
+  /// Builds a failed explicit handle (no data movement, no model time).
+  Handle make_failed_handle(OpStatus st, bool implicit);
+
   // Slab pool management (explicit handles).
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t index);
@@ -274,6 +337,17 @@ class Nic {
 
   std::vector<PendingOp*> drain_scratch_;  // gsync working set, recycled
   std::uint64_t latest_complete_at_ = 0;   // max completion time seen
+
+  // Fault plan state. fault_armed_ is the ONLY fault-path check on the
+  // fault-free issue path (one branch); everything below it is untouched
+  // when the plan is disabled.
+  bool fault_armed_ = false;
+  std::vector<FaultSite> fault_sched_;  // sorted by at_op
+  std::size_t fault_next_ = 0;          // next unfired schedule entry
+  std::uint64_t next_fault_op_ = ~std::uint64_t{0};  // fast-gate threshold
+  std::uint64_t issued_ops_ = 0;        // fault-plan op index
+  std::uint64_t implicit_failed_ = 0;   // failed implicit ops since gsync
+  OpStatus implicit_fail_status_ = OpStatus::ok;  // first such failure
 };
 
 struct DomainConfig {
@@ -290,6 +364,9 @@ struct DomainConfig {
   double time_scale = 1.0;
   NetworkModel model{};
   std::uint64_t seed = 42;
+  /// Seeded deterministic fault injection (disabled by default; when
+  /// disabled the issue path pays exactly one extra branch).
+  FaultPlan fault{};
 };
 
 /// One RDMA domain: the registry plus one NIC per rank.
@@ -321,12 +398,54 @@ class Domain {
     if (progress_hook_ != nullptr) progress_hook_(progress_arg_);
   }
 
+  // --- liveness (fail-stop fault model) -------------------------------------
+  /// True while `rank` has not been killed by the fault plan. The fail-stop
+  /// model: a dead rank's memory stays mapped and *readable* (survivors can
+  /// inspect its frozen protocol words, as in checkpoint-free recovery for
+  /// one-sided models), but writes and mutating AMOs targeting it retire
+  /// with OpStatus::peer_dead.
+  bool alive(int rank) const noexcept {
+    return !dead_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
+  }
+  /// Marks `rank` dead and advances the death epoch (idempotent).
+  void mark_dead(int rank) noexcept {
+    if (!dead_[static_cast<std::size_t>(rank)].exchange(
+            true, std::memory_order_acq_rel)) {
+      death_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  /// Number of rank deaths so far; liveness-aware spin loops re-probe
+  /// their peer only when this moves (cheap monotonic epoch).
+  std::uint64_t death_epoch() const noexcept {
+    return death_epoch_.load(std::memory_order_acquire);
+  }
+
  private:
   DomainConfig cfg_;
   RegionRegistry registry_;
   std::vector<std::unique_ptr<Nic>> nics_;
   ProgressHook progress_hook_ = nullptr;
   void* progress_arg_ = nullptr;
+  // One flag per rank, true = dead. unique_ptr array: atomics can't live
+  // in a resizable vector.
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  std::atomic<std::uint64_t> death_epoch_{0};
 };
+
+/// Armed-plan fast gate. Defined here (after Domain) so the idle case —
+/// nothing scheduled at this index, no deaths in the fleet — is a handful
+/// of inlined loads and branches at every issue site instead of a call
+/// into the fault machinery. next_fault_op_ is maintained conservatively:
+/// it never exceeds the true next interesting index, so taking the slow
+/// path spuriously is possible but missing a site is not.
+inline Nic::FaultVerdict Nic::pre_issue_fault(int target, bool is_read) {
+  const std::uint64_t my_op = issued_ops_++;
+  if (my_op >= next_fault_op_ ||
+      (!is_read && domain_.death_epoch() != 0)) {
+    return pre_issue_fault_slow(target, is_read, my_op);
+  }
+  return {};
+}
 
 }  // namespace fompi::rdma

@@ -72,6 +72,7 @@ std::string TraceSession::chrome_json() const {
         case EvPhase::issue:
         case EvPhase::doorbell:
         case EvPhase::complete:
+        case EvPhase::retry:
         case EvPhase::kCount:
           append_f(out,
                    "{\"name\": \"%s:%s\", \"cat\": \"op\", \"ph\": \"i\", "

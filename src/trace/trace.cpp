@@ -26,6 +26,7 @@ const char* to_string(EvClass cls) noexcept {
     case EvClass::win_sync:      return "win_sync";
     case EvClass::notify_wait:   return "notify_wait";
     case EvClass::barrier:       return "barrier";
+    case EvClass::fault:         return "fault";
     case EvClass::kCount:        break;
   }
   return "unknown";
@@ -38,6 +39,7 @@ const char* to_string(EvPhase ph) noexcept {
     case EvPhase::complete: return "complete";
     case EvPhase::begin:    return "begin";
     case EvPhase::end:      return "end";
+    case EvPhase::retry:    return "retry";
     case EvPhase::kCount:   break;
   }
   return "unknown";
@@ -182,6 +184,7 @@ LatencyHisto TraceSession::histogram(EvClass cls) const {
           if (e.dur_ns != 0) h.add(e.dur_ns);
           break;
         case EvPhase::complete:
+        case EvPhase::retry:
         case EvPhase::kCount:
           break;
       }

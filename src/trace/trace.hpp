@@ -62,6 +62,7 @@ enum class EvClass : std::uint8_t {
   win_sync,       ///< MPI_Win_sync memory barrier
   notify_wait,    ///< notified-access wait_notify spin
   barrier,        ///< fabric dissemination barrier
+  fault,          ///< FaultPlan event (injection / retry / permanent failure)
   kCount,
 };
 
@@ -72,6 +73,7 @@ enum class EvPhase : std::uint8_t {
   complete,  ///< explicit-handle retirement (test/wait observed completion)
   begin,     ///< sync-epoch span opened
   end,       ///< sync-epoch span closed
+  retry,     ///< op re-issued after a transient injected fault
   kCount,
 };
 
