@@ -2,9 +2,10 @@
 # Smoke-check the benchmark pipeline.
 #
 #   scripts/bench_smoke.sh          build Release, run bench_fastpath,
-#                                   bench_datatype and two figure benches; the
-#                                   JSON outputs land in BENCH_fastpath.json /
-#                                   BENCH_datatype.json at the repo root,
+#                                   bench_datatype, bench_throughput and two
+#                                   figure benches; the JSON outputs land in
+#                                   BENCH_fastpath.json / BENCH_datatype.json /
+#                                   BENCH_throughput.json at the repo root,
 #                                   bench_fig6b_fence emits a Perfetto
 #                                   timeline (BENCH_fig6b_fence.trace.json),
 #                                   and scripts/bench_summary.py aggregates
@@ -13,8 +14,8 @@
 #                                   -DFOMPI_SANITIZE=thread and run the
 #                                   concurrency-heavy tests (test_rdma,
 #                                   test_lock, test_datatype, test_comm,
-#                                   test_accumulate, test_trace) under
-#                                   ThreadSanitizer
+#                                   test_accumulate, test_trace, test_batch)
+#                                   under ThreadSanitizer
 #
 # bench_fastpath measures software-only issue overhead (Injection::none);
 # its numbers are NOT comparable to the figure benches, which run under the
@@ -28,6 +29,7 @@ cmake --build build
 
 ./build/bench/bench_fastpath | tee BENCH_fastpath.json
 ./build/bench/bench_datatype | tee BENCH_datatype.json
+./build/bench/bench_throughput | tee BENCH_throughput.json
 ./build/bench/bench_fig4_latency
 ./build/bench/bench_fig6b_fence
 
@@ -36,13 +38,15 @@ python3 scripts/bench_summary.py .
 if [ "${1:-}" = "--tsan" ]; then
   cmake -B build-tsan -G Ninja -DFOMPI_SANITIZE=thread
   cmake --build build-tsan --target \
-    test_rdma test_lock test_datatype test_comm test_accumulate test_trace
+    test_rdma test_lock test_datatype test_comm test_accumulate test_trace \
+    test_batch
   ./build-tsan/tests/test_rdma
   ./build-tsan/tests/test_lock
   ./build-tsan/tests/test_datatype
   ./build-tsan/tests/test_comm
   ./build-tsan/tests/test_accumulate
   ./build-tsan/tests/test_trace
+  ./build-tsan/tests/test_batch
 fi
 
 echo "bench smoke OK"

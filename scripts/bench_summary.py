@@ -5,7 +5,8 @@ Walks every BENCH_*.json in the given directory (default: repo root),
 flattens each bench's "cases" arrays — including nested sections like
 bench_datatype's "software"/"modeled" — into a single map of
 
-    "<bench>/<section>/<case>" -> headline ns/op (ns_per_op or ns_per_elem)
+    "<bench>/<section>/<case>" -> headline metric (ns_per_op, ns_per_elem,
+    or — for rate benches like bench_throughput — mops_per_s)
 
 and writes BENCH_summary.json next to the inputs. Fault-injection counters
 (fault_injected / op_retried / op_failed) that a case reports are exported
@@ -19,7 +20,7 @@ import json
 import pathlib
 import sys
 
-HEADLINE_KEYS = ("ns_per_op", "ns_per_elem")
+HEADLINE_KEYS = ("ns_per_op", "ns_per_elem", "mops_per_s")
 FAULT_KEYS = ("fault_injected", "op_retried", "op_failed")
 
 

@@ -8,14 +8,19 @@
 #      function of the seed
 #   3. ThreadSanitizer build + the concurrency-heavy tests (datatype
 #      flatten-cache sharing, RDMA issue paths, locks, comm, accumulate,
-#      flight-recorder tracing, fault injection/recovery incl.
-#      Delivery::deferred under a fault plan)
-#   4. Benchmark smoke run (bench_fastpath + bench_datatype JSON emission
-#      and two figure benches)
+#      flight-recorder tracing, doorbell batching/striping, fault
+#      injection/recovery incl. Delivery::deferred under a fault plan)
+#   4. Benchmark smoke run (bench_fastpath + bench_datatype +
+#      bench_throughput JSON emission and two figure benches; the
+#      throughput bench self-gates >=2x batched speedup and monotone
+#      striping, exiting non-zero on violation)
 #   5. Trace-artifact gate: the Perfetto timeline bench_fig6b_fence emitted
 #      must be valid JSON and must have dropped zero events
 #   6. Fault fast-path gate: arming an (idle) fault plan must not tax the
 #      measured put8 issue path, and no fault may fire in its timed loop
+#   7. Batch fast-path gate: an enabled-but-idle throughput config
+#      (channels + adaptive thresholds, no open batch) must not tax the
+#      blocking put8 issue path and must ring no coalesced doorbells
 #
 # Runs from any directory; everything lands in build/ and build-tsan/.
 set -eu
@@ -35,13 +40,14 @@ ctest --test-dir build --output-on-failure
 cmake -B build-tsan -G Ninja -DFOMPI_SANITIZE=thread
 cmake --build build-tsan --target \
   test_rdma test_lock test_datatype test_comm test_accumulate test_trace \
-  test_fault
+  test_batch test_fault
 ./build-tsan/tests/test_rdma
 ./build-tsan/tests/test_lock
 ./build-tsan/tests/test_datatype
 ./build-tsan/tests/test_comm
 ./build-tsan/tests/test_accumulate
 ./build-tsan/tests/test_trace
+./build-tsan/tests/test_batch
 ./build-tsan/tests/test_fault
 
 scripts/bench_smoke.sh
@@ -76,5 +82,37 @@ if armed["ns_per_op"] > 1.5 * base:
     sys.exit(f"armed-idle put8 {armed['ns_per_op']:.1f} ns/op vs baseline "
              f"{base:.1f} ns/op: arming a fault plan taxes the fast path")
 EOF
+
+# Batch fast-path gate. Enabling throughput mode (4 channels + adaptive
+# thresholds) with no open batch must leave the blocking put8 issue path
+# within 1.25x of the plain baseline and ring zero coalesced doorbells.
+# Both samples are ~17 ns on this one-core host and single runs can be
+# scheduler-noise outliers of 3x or more, so on a miss we regenerate the
+# whole JSON and re-check (up to 3 attempts) before failing.
+batch_gate() {
+  python3 - <<'EOF'
+import json, sys
+cases = {c["name"]: c for c in json.load(open("BENCH_fastpath.json"))["cases"]}
+base = cases["put8_blocking_immediate"]["ns_per_op"]
+idle = cases["put8_blocking_batch_idle"]
+for counter in ("doorbell_ring", "batched_op"):
+    if idle.get(counter, 0) != 0:
+        sys.exit(f"batch-idle bench: {counter}={idle[counter]} in the timed "
+                 "loop (throughput mode batched a blocking fast-path put)")
+if idle["ns_per_op"] > 1.25 * base:
+    sys.exit(f"batch-idle put8 {idle['ns_per_op']:.1f} ns/op vs baseline "
+             f"{base:.1f} ns/op: idle throughput mode taxes the fast path")
+EOF
+}
+attempt=1
+until batch_gate; do
+  if [ "$attempt" -ge 3 ]; then
+    echo "batch fast-path gate failed on $attempt attempts" >&2
+    exit 1
+  fi
+  attempt=$((attempt + 1))
+  echo "batch fast-path gate: rerunning bench_fastpath (attempt $attempt)" >&2
+  ./build/bench/bench_fastpath > BENCH_fastpath.json
+done
 
 echo "ci OK"

@@ -26,6 +26,10 @@ const char* to_string(Op op) noexcept {
     case Op::fault_injected:   return "fault_injected";
     case Op::op_retried:       return "op_retried";
     case Op::op_failed:        return "op_failed";
+    case Op::doorbell_ring:    return "doorbell_ring";
+    case Op::batched_op:       return "batched_op";
+    case Op::channel_stripe:   return "channel_stripe";
+    case Op::adapt_retune:     return "adapt_retune";
     case Op::kCount:           break;
   }
   return "unknown";

@@ -35,6 +35,10 @@ enum class Op : std::uint32_t {
   fault_injected,    ///< one fault injected by the FaultPlan (any kind)
   op_retried,        ///< one NIC-level retransmission of a faulted op
   op_failed,         ///< one op retired with a failure status (budget spent)
+  doorbell_ring,     ///< one coalesced doorbell rung (covers >= 1 descriptors)
+  batched_op,        ///< one op enqueued behind a coalesced doorbell
+  channel_stripe,    ///< one BTE transfer striped across NIC channels
+  adapt_retune,      ///< adaptive tuner moved a protocol threshold
   kCount,
 };
 

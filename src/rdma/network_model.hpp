@@ -95,6 +95,84 @@ struct NetworkModel {
   double intra_latency_ns(std::size_t bytes) const noexcept {
     return intra_base_ns + intra_byte_ns * static_cast<double>(bytes);
   }
+
+  // --- throughput mode: batched doorbells and multi-channel striping -------
+  // Coalesced issue (Nic::batch_begin/batch_flush or NicConfig.auto_batch)
+  // chains descriptors behind ONE doorbell, like vectored ops but across
+  // independent operations: the software+doorbell overhead is paid once per
+  // batch and each extra descriptor costs batch_chain_ns on the wire.
+  // Slingshot-class NICs (RAMC) additionally expose several independent
+  // ordered memory channels; a chained batch drains round-robin across
+  // them, and large BTE transfers stripe their payload over all channels at
+  // the cost of one extra per-channel descriptor setup.
+  double batch_chain_ns = 45.0;    ///< per extra descriptor behind a doorbell
+  double stripe_chunk_ns = 120.0;  ///< per extra channel: BTE stripe setup
+
+  /// Wire time of an n-descriptor chained batch: the descriptors beyond the
+  /// first drain round-robin over `channels` independent channels, so each
+  /// channel serializes only ceil((n-1)/channels) chain links.
+  double batch_chain_latency_ns(std::size_t ndesc, int channels) const noexcept {
+    if (ndesc <= 1) return 0.0;
+    const std::size_t ch = channels < 1 ? 1 : static_cast<std::size_t>(channels);
+    const std::size_t links = ndesc - 1;
+    return batch_chain_ns * static_cast<double>((links + ch - 1) / ch);
+  }
+
+  /// Put latency with the payload striped round-robin over `channels`; BTE
+  /// transfers split their byte stream per channel (setup replicated per
+  /// stripe), FMA-sized transfers are never striped (single ordered
+  /// channel keeps per-target ordering, RAMC-style).
+  double put_striped_latency_ns(std::size_t bytes, int channels) const noexcept {
+    if (channels <= 1 || bytes < bte_threshold) return put_latency_ns(bytes);
+    const double per =
+        static_cast<double>(bytes) / static_cast<double>(channels);
+    return bte_setup_ns + stripe_chunk_ns * static_cast<double>(channels - 1) +
+           bte_byte_ns * per;
+  }
+
+  double get_striped_latency_ns(std::size_t bytes, int channels) const noexcept {
+    if (channels <= 1 || bytes < bte_threshold) return get_latency_ns(bytes);
+    const double per =
+        static_cast<double>(bytes) / static_cast<double>(channels);
+    return get_base_ns + bte_setup_ns - put_base_ns +
+           stripe_chunk_ns * static_cast<double>(channels - 1) +
+           bte_byte_ns * per;
+  }
+
+  /// FMA cost of a put ignoring the protocol threshold (adaptive tuner's
+  /// objective function needs both branches at every candidate size).
+  double put_fma_cost_ns(std::size_t bytes) const noexcept {
+    const double chunks = static_cast<double>(bytes) / fma_chunk_bytes;
+    return put_base_ns + fma_chunk_ns * chunks +
+           put_byte_ns * static_cast<double>(bytes);
+  }
+  /// BTE cost of a put ignoring the protocol threshold.
+  double put_bte_cost_ns(std::size_t bytes) const noexcept {
+    return bte_setup_ns + bte_byte_ns * static_cast<double>(bytes);
+  }
+};
+
+/// Throughput-mode configuration of one simulated NIC (all default values
+/// preserve the latency-tuned PR-5 behaviour bit for bit).
+struct NicConfig {
+  /// Independent ordered NIC channels (>= 1). Chained batches drain
+  /// round-robin across channels; BTE-sized transfers stripe their payload.
+  int channels = 1;
+  /// Coalesce ops issued between synchronization points into one doorbell
+  /// (an explicit Nic::batch_begin() scope batches regardless).
+  bool auto_batch = false;
+  /// Max descriptors chained behind one doorbell before an implicit flush.
+  std::size_t batch_capacity = 64;
+  /// Auto-tune protocol thresholds from the observed op-size histogram.
+  bool adaptive = false;
+  /// Ops between retunes of the adaptive thresholds.
+  std::uint64_t adapt_period = 1024;
+  /// Static override of the FMA->BTE switch point (0 = keep the model's).
+  std::size_t bte_threshold_override = 0;
+  /// Ops at least this large bypass an open batch and flush immediately
+  /// (BTE transfers get their own doorbell). 0 = track the (possibly
+  /// adaptive) bte_threshold.
+  std::size_t batch_cutoff_override = 0;
 };
 
 /// How the simulated NIC charges model time to the running code.

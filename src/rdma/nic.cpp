@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstring>
 #include <thread>
 
@@ -112,7 +113,25 @@ void fetch_bytes(void* dst, const void* src, std::size_t len) {
 }  // namespace
 
 Nic::Nic(Domain& domain, int rank)
-    : domain_(domain), rank_(rank), rng_(domain.config().seed + 0x9e37 * rank) {
+    : domain_(domain), rank_(rank), rng_(domain.config().seed + 0x9e37 * rank),
+      model_(domain.config().model) {
+  // Throughput mode: cache the NicConfig knobs and apply static overrides
+  // to this NIC's private model copy (the adaptive tuner mutates only the
+  // copy, never the shared DomainConfig).
+  const NicConfig& nc = domain.config().nic;
+  channels_ = std::max(1, nc.channels);
+  auto_batch_ = nc.auto_batch;
+  adaptive_ = nc.adaptive;
+  batch_capacity_ = std::max<std::size_t>(1, nc.batch_capacity);
+  adapt_period_ = std::max<std::uint64_t>(1, nc.adapt_period);
+  if (nc.bte_threshold_override != 0) {
+    model_.bte_threshold = nc.bte_threshold_override;
+  }
+  batch_cutoff_pinned_ = nc.batch_cutoff_override != 0;
+  batch_cutoff_ =
+      batch_cutoff_pinned_ ? nc.batch_cutoff_override : model_.bte_threshold;
+  if (auto_batch_) batch_entries_.reserve(batch_capacity_);
+
   const FaultPlan& plan = domain.config().fault;
   if (!plan.enabled()) return;
   fault_armed_ = true;
@@ -262,6 +281,139 @@ Handle Nic::make_failed_handle(OpStatus st, bool implicit) {
 
 bool Nic::inter_node(int target) const noexcept {
   return !domain_.same_node(rank_, target);
+}
+
+// ---------------------------------------------------------------------------
+// Throughput mode: doorbell coalescing, channel striping, adaptive tuner
+// ---------------------------------------------------------------------------
+
+void Nic::batch_begin() {
+  if (batch_open_) {
+    batch_explicit_ = true;  // adopt an open auto-batch scope
+    return;
+  }
+  batch_open_ = true;
+  batch_explicit_ = true;
+  if (batch_entries_.capacity() < batch_capacity_) {
+    batch_entries_.reserve(batch_capacity_);
+  }
+}
+
+bool Nic::batch_accepts(std::size_t len) noexcept {
+  // BTE-sized transfers own their doorbell (the bulk engine is not part of
+  // an FMA descriptor chain), so they bypass the batch in every mode.
+  if (len >= batch_cutoff_) return false;
+  if (batch_open_) return true;
+  // auto_batch: the first batchable op between sync points opens a scope.
+  batch_open_ = true;
+  batch_explicit_ = false;
+  return true;
+}
+
+void Nic::batch_enqueue(const BatchEntry& e, bool inter) {
+  count(Op::batched_op);
+  if (inter) batch_inter_ = true;
+  if (batch_entries_.size() == batch_entries_.capacity()) {
+    count(Op::pool_grow);
+  }
+  batch_entries_.push_back(e);
+  if (++batch_ndesc_ >= batch_capacity_) batch_flush();
+}
+
+void Nic::batch_flush() {
+  if (!batch_open_) return;
+  batch_open_ = false;
+  batch_explicit_ = false;
+  const std::size_t n = batch_ndesc_;
+  batch_ndesc_ = 0;
+  const bool inter = batch_inter_;
+  batch_inter_ = false;
+  if (n == 0) return;
+  ++doorbells_;
+  count(Op::doorbell_ring);
+
+  // One doorbell for the whole chain: the injection overhead is charged
+  // once, plus batch_chain_ns per extra descriptor — drained round-robin
+  // over the configured channels (per-channel ordering preserved).
+  std::uint64_t doorbell_end = 0;
+  std::uint64_t doorbell_ns = 0;
+  if (domain_.config().inject == Injection::model) {
+    const double scale = domain_.config().time_scale;
+    const double over =
+        inter ? model_.inter_overhead_ns : model_.intra_overhead_ns;
+    const double chain = model_.batch_chain_latency_ns(n, channels_);
+    doorbell_ns = static_cast<std::uint64_t>((over + chain) * scale);
+    doorbell_end = now_ns() + doorbell_ns;
+  }
+  for (const BatchEntry& e : batch_entries_) {
+    PendingOp* op = nullptr;
+    if (e.slot != BatchEntry::kNoSlot2) {
+      op = &slab_[e.slot].op;
+    } else if (e.implicit_idx != BatchEntry::kNoSlot2) {
+      op = &implicit_ops_[e.implicit_idx];
+    }
+    const std::uint64_t done = doorbell_end + e.lat_ns;
+    if (op != nullptr) {
+      op->batch_pending = false;
+      op->complete_at = done;
+    }
+    if (done > latest_complete_at_) latest_complete_at_ = done;
+  }
+  batch_entries_.clear();
+  trace::emit(trace::EvClass::batch, trace::EvPhase::doorbell, -1, n,
+              doorbell_ns, doorbell_end);
+  // The origin is busy until the doorbell write retires; the wait routes
+  // through the domain progress hook, so a batched spin still aborts on a
+  // dead fleet (Fabric::yield_check).
+  wait_model_time(doorbell_end);
+}
+
+void Nic::note_op_size(std::size_t len) {
+  const std::size_t b =
+      len == 0 ? 0 : static_cast<std::size_t>(std::bit_width(len));
+  ++size_hist_[b];
+  if (++ops_since_retune_ >= adapt_period_) retune();
+}
+
+void Nic::retune() {
+  ops_since_retune_ = 0;
+  // Candidate FMA->BTE switch points bracketing the Gemini default. The
+  // tuner minimizes the histogram-weighted modeled put cost and moves only
+  // on a clear (>0.1%) improvement, so pure small-op traffic — where every
+  // candidate is equivalent — never perturbs the default.
+  static constexpr std::size_t kCandidates[] = {512,  1024, 2048, 4096,
+                                                8192, 16384, 32768};
+  const auto cost_at = [this](std::size_t threshold) {
+    double cost = 0.0;
+    for (std::size_t b = 1; b < size_hist_.size(); ++b) {
+      const std::uint64_t cnt = size_hist_[b];
+      if (cnt == 0) continue;
+      const std::size_t rep = std::size_t{1} << (b - 1);
+      const double per = rep >= threshold ? model_.put_bte_cost_ns(rep)
+                                          : model_.put_fma_cost_ns(rep);
+      cost += per * static_cast<double>(cnt);
+    }
+    return cost;
+  };
+  std::size_t best = model_.bte_threshold;
+  double best_cost = cost_at(best) * 0.999;
+  for (const std::size_t cand : kCandidates) {
+    if (cand == model_.bte_threshold) continue;
+    const double cost = cost_at(cand);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = cand;
+    }
+  }
+  if (best != model_.bte_threshold) {
+    model_.bte_threshold = best;
+    if (!batch_cutoff_pinned_) batch_cutoff_ = best;
+    ++retunes_;
+    count(Op::adapt_retune);
+    trace::emit(trace::EvClass::adapt, trace::EvPhase::issue, -1, best);
+  }
+  // Decay: the histogram tracks recent traffic, not the full history.
+  for (std::uint64_t& h : size_hist_) h >>= 1;
 }
 
 void Nic::wait_model_time(std::uint64_t complete_at) {
@@ -481,27 +633,40 @@ Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
       break;
   }
   if (req.len != 0) count(Op::bytes_copied, req.len);
+  if (adaptive_) note_op_size(req.len);
+
+  // Throughput mode: an FMA-sized op inside a batch scope (explicit or
+  // auto) skips its private doorbell; completion times are assigned when
+  // batch_flush rings the shared one. One predictable branch when idle.
+  bool batched = false;
+  if (batch_open_ || auto_batch_) batched = batch_accepts(req.len);
 
   // Model time accounting: only the injection mode consults the clock; the
   // functional mode (Injection::none) runs the pure software path.
   std::uint64_t complete_at = 0;
   std::uint64_t model_lat = 0;
   if (cfg.inject == Injection::model) {
-    const NetworkModel& m = cfg.model;
+    const NetworkModel& m = model_;
     double overhead_ns = 0.0;
     double latency_ns = 0.0;
     if (inter) {
       overhead_ns = m.inter_overhead_ns;
       switch (req.kind) {
         case PendingOp::Kind::put:
-          latency_ns = m.put_latency_ns(req.len);
+          latency_ns = m.put_striped_latency_ns(req.len, channels_);
           break;
         case PendingOp::Kind::get:
-          latency_ns = m.get_latency_ns(req.len);
+          latency_ns = m.get_striped_latency_ns(req.len, channels_);
           break;
         case PendingOp::Kind::amo:
           latency_ns = m.amo_latency_ns();
           break;
+      }
+      if (channels_ > 1 && req.len >= m.bte_threshold &&
+          req.kind != PendingOp::Kind::amo) {
+        count(Op::channel_stripe);
+        trace::emit(trace::EvClass::channel, trace::EvPhase::issue, target,
+                    static_cast<std::uint64_t>(channels_));
       }
     } else {
       overhead_ns = m.intra_overhead_ns;
@@ -510,11 +675,13 @@ Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
                        : m.intra_latency_ns(req.len);
     }
     const double scale = cfg.time_scale;
-    const std::uint64_t issue_start = now_ns();
-    spin_for_ns(static_cast<std::uint64_t>(overhead_ns * scale));
     model_lat = static_cast<std::uint64_t>(latency_ns * scale * fault_scale);
-    complete_at = issue_start + model_lat;
-    latest_complete_at_ = std::max(latest_complete_at_, complete_at);
+    if (!batched) {
+      const std::uint64_t issue_start = now_ns();
+      spin_for_ns(static_cast<std::uint64_t>(overhead_ns * scale));
+      complete_at = issue_start + model_lat;
+      latest_complete_at_ = std::max(latest_complete_at_, complete_at);
+    }
   }
 
   // Data movement -----------------------------------------------------------
@@ -534,6 +701,11 @@ Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
     apply_direct(req, remote);
     if (implicit) {
       ++implicit_live_;
+      if (batched) {
+        // No pooled record: only the batch's completion horizon matters.
+        batch_enqueue({BatchEntry::kNoSlot2, BatchEntry::kNoSlot2, model_lat},
+                      inter);
+      }
       return kDoneHandle;
     }
     if (cfg.inject == Injection::model) {
@@ -546,7 +718,15 @@ Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
       op.applied = true;
       op.len = 0;
       op.complete_at = complete_at;
-      return encode(idx, slab_[idx].tag);
+      const Handle h = encode(idx, slab_[idx].tag);
+      if (batched) {
+        op.batch_pending = true;
+        batch_enqueue({idx, BatchEntry::kNoSlot2, model_lat}, inter);
+      }
+      return h;
+    }
+    if (batched) {
+      batch_enqueue({BatchEntry::kNoSlot2, BatchEntry::kNoSlot2, 0}, inter);
     }
     return kDoneHandle;
   }
@@ -574,11 +754,20 @@ Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
   op->fetch_out = req.fetch_out;
   op->complete_at = complete_at;
   if (req.kind == PendingOp::Kind::put) op->stage_payload(req.src, req.len);
+  if (batched) op->batch_pending = true;
   if (implicit) {
     ++implicit_live_;
+    if (batched) {
+      batch_enqueue({BatchEntry::kNoSlot2,
+                     static_cast<std::uint32_t>(implicit_count_ - 1),
+                     model_lat},
+                    inter);
+    }
     return kDoneHandle;
   }
-  return encode(idx, slab_[idx].tag);
+  const Handle h = encode(idx, slab_[idx].tag);
+  if (batched) batch_enqueue({idx, BatchEntry::kNoSlot2, model_lat}, inter);
+  return h;
 }
 
 Handle Nic::issue_vec(int target, const RegionDesc& rd, std::size_t base_off,
@@ -612,18 +801,29 @@ Handle Nic::issue_vec(int target, const RegionDesc& rd, std::size_t base_off,
   count(kind == PendingOp::Kind::put ? Op::transport_put : Op::transport_get);
   count(Op::vectored_op);
   if (total != 0) count(Op::bytes_copied, total);
+  if (adaptive_) note_op_size(total);
 
   std::uint64_t complete_at = 0;
   std::uint64_t model_lat = 0;
   if (cfg.inject == Injection::model) {
-    const NetworkModel& m = cfg.model;
+    const NetworkModel& m = model_;
     double overhead_ns = 0.0;
     double latency_ns = 0.0;
     if (inter) {
+      // A vectored op is already one chained doorbell; its payload still
+      // stripes over the channels when it crosses into BTE territory.
       overhead_ns = m.inter_overhead_ns;
-      latency_ns = kind == PendingOp::Kind::put
-                       ? m.put_vec_latency_ns(nfrags, total)
-                       : m.get_vec_latency_ns(nfrags, total);
+      const double chain =
+          nfrags > 1 ? m.vec_chain_ns * static_cast<double>(nfrags - 1) : 0.0;
+      latency_ns = (kind == PendingOp::Kind::put
+                        ? m.put_striped_latency_ns(total, channels_)
+                        : m.get_striped_latency_ns(total, channels_)) +
+                   chain;
+      if (channels_ > 1 && total >= m.bte_threshold) {
+        count(Op::channel_stripe);
+        trace::emit(trace::EvClass::channel, trace::EvPhase::issue, target,
+                    static_cast<std::uint64_t>(channels_));
+      }
     } else {
       overhead_ns = m.intra_overhead_ns;
       latency_ns = m.intra_vec_latency_ns(nfrags, total);
@@ -817,6 +1017,9 @@ bool Nic::test(Handle h) {
   if (h == kDoneHandle) return true;
   Slot* s = lookup(h);
   FOMPI_REQUIRE(s != nullptr, ErrClass::arg, "test: unknown handle");
+  // Probing a batched op forces its doorbell (MPI progress): the op cannot
+  // complete while it sits behind an unrung doorbell.
+  if (s->op.batch_pending) batch_flush();
   if (s->op.status != OpStatus::ok) {
     const OpStatus st = s->op.status;
     release_slot(static_cast<std::uint32_t>(h));
@@ -836,6 +1039,7 @@ void Nic::wait(Handle h) {
   if (h == kDoneHandle) return;
   Slot* s = lookup(h);
   FOMPI_REQUIRE(s != nullptr, ErrClass::arg, "wait: unknown handle");
+  if (s->op.batch_pending) batch_flush();
   if (s->op.status != OpStatus::ok) {
     const OpStatus st = s->op.status;
     release_slot(static_cast<std::uint32_t>(h));
@@ -861,6 +1065,7 @@ bool Nic::test_status(Handle h, OpStatus* out) {
     *out = OpStatus::retired;
     return true;
   }
+  if (s->op.batch_pending) batch_flush();
   if (s->op.status != OpStatus::ok) {
     *out = s->op.status;
     release_slot(static_cast<std::uint32_t>(h));
@@ -882,6 +1087,7 @@ OpStatus Nic::wait_status(Handle h) {
   if (h == kDoneHandle) return OpStatus::ok;
   Slot* s = lookup(h);
   if (s == nullptr) return OpStatus::retired;
+  if (s->op.batch_pending) batch_flush();
   if (s->op.status != OpStatus::ok) {
     const OpStatus st = s->op.status;
     release_slot(static_cast<std::uint32_t>(h));
@@ -900,6 +1106,10 @@ void Nic::gsync() {
 }
 
 OpStatus Nic::gsync_status() {
+  // An open batch (explicit or auto) is flushed before bulk completion:
+  // this is what guarantees flush/fence/unlock/complete — which all route
+  // through gsync — ring every outstanding doorbell (MPI RMA semantics).
+  batch_flush();
   count(Op::bulk_sync);
   const trace::Span sp(trace::EvClass::bulk_sync, -1, outstanding());
   // Drain deferred operations, optionally in shuffled order to model the

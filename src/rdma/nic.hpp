@@ -145,8 +145,36 @@ class Nic {
   /// throws for fault-model outcomes (stale handle -> OpStatus::retired).
   OpStatus wait_status(Handle h);
   /// Bulk completion; returns ok or the first implicit-op failure recorded
-  /// since the previous gsync (and clears it).
+  /// since the previous gsync (and clears it). Flushes an open batch first,
+  /// so every core-layer sync point (flush/fence/unlock/complete all route
+  /// through gsync) preserves MPI RMA completion semantics under batching.
   OpStatus gsync_status();
+
+  // --- throughput mode: doorbell batching ------------------------------------
+  /// Opens an explicit batch scope: subsequent batchable ops (FMA-sized,
+  /// i.e. below the batch cutoff) accumulate into one chained descriptor
+  /// list and ring a single doorbell at batch_flush(). Idempotent — an
+  /// auto-batch scope already open is adopted. Ops at or above the cutoff
+  /// bypass the batch (BTE transfers own their doorbell).
+  void batch_begin();
+  /// Rings the doorbell for the open batch (explicit or auto), charging
+  /// the injection overhead once plus batch_chain_ns per extra descriptor
+  /// (divided round-robin across the configured channels), and assigns
+  /// every batched op its modeled completion time. No-op when no batch is
+  /// open. Also invoked implicitly by gsync and by test/wait on a
+  /// batch-pending handle.
+  void batch_flush();
+  /// True while a batch scope (explicit or auto) is open.
+  bool batch_active() const noexcept { return batch_open_; }
+  /// Descriptors enqueued in the open batch.
+  std::size_t batch_depth() const noexcept { return batch_ndesc_; }
+  /// Doorbells rung so far (each covers >= 1 descriptors).
+  std::uint64_t doorbells_rung() const noexcept { return doorbells_; }
+  /// This NIC's (possibly adaptively retuned) cost model. Starts as a copy
+  /// of DomainConfig::model with NicConfig overrides applied.
+  const NetworkModel& model() const noexcept { return model_; }
+  /// Adaptive retunes performed so far.
+  std::uint64_t retunes() const noexcept { return retunes_; }
 
   /// Local memory fence (x86 mfence equivalent); orders CPU stores for the
   /// intra-node path.
@@ -192,6 +220,7 @@ class Nic {
     Kind kind = Kind::put;
     bool implicit = false;
     bool applied = false;  // data movement already performed
+    bool batch_pending = false;  // enqueued behind an unrung doorbell
     std::byte* remote = nullptr;
     void* local = nullptr;  // get destination
     std::size_t len = 0;
@@ -220,6 +249,7 @@ class Nic {
     /// Clears per-op state but keeps spill/fragment capacity for recycling.
     void reset() noexcept {
       applied = false;
+      batch_pending = false;
       fetch_out = nullptr;
       staged_len = 0;
       status = OpStatus::ok;
@@ -307,6 +337,26 @@ class Nic {
   /// Builds a failed explicit handle (no data movement, no model time).
   Handle make_failed_handle(OpStatus st, bool implicit);
 
+  // --- throughput mode internals --------------------------------------------
+  /// One descriptor of the open batch. Pool entries are referenced by index
+  /// (slab_/implicit_ops_ may reallocate between enqueue and flush); ops
+  /// with no pooled record (immediate implicit) carry only their latency.
+  struct BatchEntry {
+    std::uint32_t slot = kNoSlot2;      ///< explicit slab index, or none
+    std::uint32_t implicit_idx = kNoSlot2;  ///< implicit pool index, or none
+    std::uint64_t lat_ns = 0;           ///< modeled op latency (scaled)
+    static constexpr std::uint32_t kNoSlot2 = ~std::uint32_t{0};
+  };
+  /// True when the open (or to-be-opened auto) batch accepts this op: a
+  /// batch scope is available and the op is FMA-sized (below the cutoff).
+  bool batch_accepts(std::size_t len) noexcept;
+  /// Records one op into the open batch (model-time bookkeeping only; the
+  /// caller has already done counters/data movement).
+  void batch_enqueue(const BatchEntry& e, bool inter);
+  /// Adaptive tuner: one histogram bump per op plus a periodic retune.
+  void note_op_size(std::size_t len);
+  void retune();
+
   // Slab pool management (explicit handles).
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t index);
@@ -338,6 +388,30 @@ class Nic {
   std::vector<PendingOp*> drain_scratch_;  // gsync working set, recycled
   std::uint64_t latest_complete_at_ = 0;   // max completion time seen
 
+  // Throughput mode. The NIC keeps its own model copy so the adaptive
+  // tuner can move protocol thresholds without touching the (shared,
+  // immutable) DomainConfig. With the default NicConfig the issue path
+  // pays one extra predictable branch (batchable_ is false).
+  NetworkModel model_;       // per-NIC copy; adaptive retunes mutate it
+  int channels_ = 1;         // cached NicConfig.channels
+  bool auto_batch_ = false;  // cached NicConfig.auto_batch
+  bool adaptive_ = false;    // cached NicConfig.adaptive
+  std::size_t batch_capacity_ = 64;
+  std::size_t batch_cutoff_ = 0;  // ops >= cutoff bypass the batch
+  bool batch_cutoff_pinned_ = false;  // cutoff overridden: retune keeps it
+  bool batch_open_ = false;
+  bool batch_explicit_ = false;  // opened by batch_begin (vs auto)
+  bool batch_inter_ = false;     // any inter-node descriptor enqueued
+  std::size_t batch_ndesc_ = 0;
+  std::vector<BatchEntry> batch_entries_;  // capacity recycled across flushes
+  std::uint64_t doorbells_ = 0;
+
+  // Adaptive tuner state: log2 op-size histogram, decayed at each retune.
+  std::array<std::uint64_t, 48> size_hist_{};
+  std::uint64_t ops_since_retune_ = 0;
+  std::uint64_t adapt_period_ = 1024;
+  std::uint64_t retunes_ = 0;
+
   // Fault plan state. fault_armed_ is the ONLY fault-path check on the
   // fault-free issue path (one branch); everything below it is untouched
   // when the plan is disabled.
@@ -363,6 +437,9 @@ struct DomainConfig {
   /// Multiplier on all injected model times (1.0 = realistic).
   double time_scale = 1.0;
   NetworkModel model{};
+  /// Throughput mode: doorbell batching, channel striping, adaptive
+  /// thresholds (defaults preserve the latency-tuned single-channel path).
+  NicConfig nic{};
   std::uint64_t seed = 42;
   /// Seeded deterministic fault injection (disabled by default; when
   /// disabled the issue path pays exactly one extra branch).

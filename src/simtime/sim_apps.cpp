@@ -70,6 +70,15 @@ FftSeries simulate_fft(int p, const FftParams& prm) {
   return out;
 }
 
+double simulate_msgrate_mops(const MsgRateParams& prm) {
+  const double b = std::max(1, prm.batch);
+  const double ch = std::max(1, prm.channels);
+  const double chains = std::ceil((b - 1.0) / ch);
+  const double batch_ns =
+      prm.doorbell_overhead_ns + prm.sw_issue_ns * b + prm.chain_ns * chains;
+  return b / batch_ns * 1e3;  // ns per batch -> Mops/s
+}
+
 MilcSeries simulate_milc(int p, const MilcParams& prm) {
   const double comp_us = prm.local_sites * prm.flops_per_site /
                          (prm.flops_per_core_gfs * 1e9) * 1e6;

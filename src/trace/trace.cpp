@@ -27,6 +27,9 @@ const char* to_string(EvClass cls) noexcept {
     case EvClass::notify_wait:   return "notify_wait";
     case EvClass::barrier:       return "barrier";
     case EvClass::fault:         return "fault";
+    case EvClass::batch:         return "batch";
+    case EvClass::channel:       return "channel";
+    case EvClass::adapt:         return "adapt";
     case EvClass::kCount:        break;
   }
   return "unknown";
@@ -46,12 +49,23 @@ const char* to_string(EvPhase ph) noexcept {
 }
 
 namespace detail {
-thread_local Ring* tl_ring = nullptr;
+thread_local Stage tl_stage;
+
+void flush_stage() noexcept {
+  Stage& st = tl_stage;
+  if (st.ring != nullptr && st.n != 0) st.ring->push_batch(st.buf.data(), st.n);
+  st.n = 0;
+}
 }  // namespace detail
 
-void bind_thread(Ring* ring) noexcept { detail::tl_ring = ring; }
+void bind_thread(Ring* ring) noexcept {
+  detail::flush_stage();
+  detail::tl_stage.ring = ring;
+}
 
-Ring* bound_ring() noexcept { return detail::tl_ring; }
+Ring* bound_ring() noexcept { return detail::tl_stage.ring; }
+
+void flush_thread() noexcept { detail::flush_stage(); }
 
 // ---------------------------------------------------------------------------
 // LatencyHisto

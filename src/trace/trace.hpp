@@ -11,6 +11,9 @@
 //     Fixed capacity, zero allocation and no locks on the record path; on
 //     overflow new events are DROPPED and counted, so a full ring degrades
 //     to a truthful partial trace instead of blocking the traced code.
+//     Bound threads stage events in a small thread-local buffer and publish
+//     them in batches with one release store (push_batch), so the common
+//     record cost is a couple of thread-local stores; unbinding flushes.
 //   * The off path is a single thread-local load + branch: a rank thread
 //     records only while bound to a ring (run_ranks binds automatically
 //     when a TraceSession is active). Compile out entirely with
@@ -63,6 +66,9 @@ enum class EvClass : std::uint8_t {
   notify_wait,    ///< notified-access wait_notify spin
   barrier,        ///< fabric dissemination barrier
   fault,          ///< FaultPlan event (injection / retry / permanent failure)
+  batch,          ///< coalesced doorbell rung (arg = chained descriptors)
+  channel,        ///< BTE transfer striped across channels (arg = channels)
+  adapt,          ///< adaptive tuner moved a threshold (arg = new value)
   kCount,
 };
 
@@ -115,6 +121,21 @@ class Ring {
     count_.store(n + 1, std::memory_order_release);
   }
 
+  /// Batched append (single producer): copies what fits and publishes it
+  /// with ONE release store; the overflow remainder is dropped and counted,
+  /// preserving push()'s oldest-events-kept semantics. This is the staging
+  /// buffer's publish path — the per-event record cost is a plain store
+  /// into thread-local memory, not a shared-counter update.
+  void push_batch(const Event* evs, std::size_t n) noexcept {
+    const std::uint64_t c = count_.load(std::memory_order_relaxed);
+    const std::size_t cap = slots_.size();
+    std::size_t take = 0;
+    if (c < cap) take = std::min<std::size_t>(n, cap - c);
+    for (std::size_t i = 0; i < take; ++i) slots_[c + i] = evs[i];
+    if (take != 0) count_.store(c + take, std::memory_order_release);
+    if (take != n) dropped_.fetch_add(n - take, std::memory_order_relaxed);
+  }
+
   std::size_t capacity() const noexcept { return slots_.size(); }
   /// Events recorded so far (readable prefix; safe from any thread).
   std::size_t size() const noexcept {
@@ -133,26 +154,48 @@ class Ring {
 };
 
 namespace detail {
-/// The calling thread's bound ring (null = tracing off for this thread).
-extern thread_local Ring* tl_ring;
+/// Per-thread staging buffer: emit() appends into this plain thread-local
+/// array and publishes to the bound ring in batches with ONE release store
+/// (Ring::push_batch), so the per-event record cost is a thread-local store,
+/// not a shared-counter publish. Flushed on batch fill, on rebind/unbind,
+/// and explicitly via flush_thread(). An unbound thread (ring == nullptr)
+/// stages nothing — the drop-with-counter and records-nothing guarantees of
+/// the unstaged design are preserved.
+struct Stage {
+  static constexpr std::size_t kStageEvents = 16;
+  Ring* ring = nullptr;   ///< bound ring (null = tracing off for this thread)
+  std::uint32_t n = 0;    ///< staged events not yet published
+  std::array<Event, kStageEvents> buf{};
+};
+extern thread_local Stage tl_stage;
+/// Publishes staged events to the bound ring (one release store) and empties
+/// the stage. Safe to call unbound or empty (no-op).
+void flush_stage() noexcept;
 }  // namespace detail
 
-/// Binds the calling thread to `ring` (null unbinds). The record path of an
-/// unbound thread is one thread-local load and one branch.
+/// Binds the calling thread to `ring` (null unbinds). Any events still
+/// staged for the previously bound ring are flushed to it first, so an
+/// unbind never loses the tail of a trace. The record path of an unbound
+/// thread is one thread-local load and one branch.
 void bind_thread(Ring* ring) noexcept;
 /// The ring the calling thread records into (null if unbound).
 Ring* bound_ring() noexcept;
+/// Publishes the calling thread's staged events to its bound ring. Readers
+/// observing ring.size() from the producer thread (tests, in-run dumps)
+/// call this first; unbinding flushes implicitly.
+void flush_thread() noexcept;
 
 /// Records one event on the calling thread's ring, if bound. This is THE
-/// record path: a branch when unbound; a clock read plus one ring append
-/// when bound. Never locks, never allocates.
+/// record path: a branch when unbound; a clock read plus one store into the
+/// thread-local staging buffer when bound (the ring publish is amortized
+/// over Stage::kStageEvents events). Never locks, never allocates.
 inline void emit(EvClass cls, EvPhase phase, std::int32_t target = -1,
                  std::uint64_t arg = 0, std::uint64_t dur_ns = 0,
                  std::uint64_t sim_ns = 0) noexcept {
 #if FOMPI_TRACE
-  Ring* r = detail::tl_ring;
-  if (r == nullptr) return;
-  Event ev;
+  detail::Stage& st = detail::tl_stage;
+  if (st.ring == nullptr) return;
+  Event& ev = st.buf[st.n];
   ev.wall_ns = now_ns();
   ev.sim_ns = sim_ns;
   ev.dur_ns = dur_ns;
@@ -160,7 +203,7 @@ inline void emit(EvClass cls, EvPhase phase, std::int32_t target = -1,
   ev.target = target;
   ev.cls = cls;
   ev.phase = phase;
-  r->push(ev);
+  if (++st.n == detail::Stage::kStageEvents) detail::flush_stage();
 #else
   (void)cls; (void)phase; (void)target; (void)arg; (void)dur_ns; (void)sim_ns;
 #endif
@@ -174,7 +217,7 @@ class Span {
   explicit Span(EvClass cls, std::int32_t target = -1,
                 std::uint64_t arg = 0) noexcept
 #if FOMPI_TRACE
-      : cls_(cls), target_(target), armed_(detail::tl_ring != nullptr) {
+      : cls_(cls), target_(target), armed_(detail::tl_stage.ring != nullptr) {
     if (armed_) emit(cls_, EvPhase::begin, target_, arg);
   }
   ~Span() {

@@ -174,3 +174,43 @@ TEST(SimMilc, WeakScalingImprovementInPaperBand) {
   const auto large = simulate_milc(524288);
   EXPECT_GT(large.mpi1_s, small.mpi1_s);  // noise + allreduce grow
 }
+
+TEST(SimMsgRate, UnbatchedMatchesFig5bPlateau) {
+  // Fig 5b: 8-byte put message rate plateaus around 2.4 Mmsgs/s, set by
+  // the per-op processor->NIC overhead.
+  MsgRateParams p;
+  p.batch = 1;
+  const double mops = simulate_msgrate_mops(p);
+  EXPECT_GT(mops, 1.8);
+  EXPECT_LT(mops, 3.0);
+}
+
+TEST(SimMsgRate, DoorbellBatchingAmortizesOverheadAtLeast2x) {
+  MsgRateParams unbatched;
+  unbatched.batch = 1;
+  MsgRateParams batched;  // default batch = 64
+  const double u = simulate_msgrate_mops(unbatched);
+  const double b = simulate_msgrate_mops(batched);
+  EXPECT_GE(b, 2.0 * u) << "batched " << b << " vs unbatched " << u;
+  // The batch can never beat the pure software issue rate (1/sw_issue_ns).
+  EXPECT_LT(b, 1e3 / batched.sw_issue_ns);
+}
+
+TEST(SimMsgRate, ChannelsMonotonicallyRaiseTheBatchedRate) {
+  double prev = 0.0;
+  for (int ch : {1, 2, 4}) {
+    MsgRateParams p;
+    p.channels = ch;
+    const double mops = simulate_msgrate_mops(p);
+    EXPECT_GT(mops, prev) << "channels=" << ch;
+    prev = mops;
+  }
+  // Diminishing returns: the chain walk is only part of the batch cost,
+  // so infinite channels cap out at overhead + sw*batch.
+  MsgRateParams wide;
+  wide.channels = 1 << 20;
+  const double cap =
+      wide.batch / (wide.doorbell_overhead_ns +
+                    wide.sw_issue_ns * wide.batch) * 1e3;
+  EXPECT_LE(simulate_msgrate_mops(wide), cap * 1.001);
+}

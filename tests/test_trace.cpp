@@ -106,7 +106,34 @@ TEST(TraceRing, UnboundThreadEmitsNothing) {
   BindGuard bind(&ring);
   EXPECT_EQ(ring.size(), 0u);
   trace::emit(EvClass::put, EvPhase::issue);
-  EXPECT_EQ(ring.size(), 1u);
+  trace::flush_thread();  // publish the thread-local staging buffer
+  EXPECT_EQ(ring.size(), trace::kEnabled ? 1u : 0u);
+}
+
+TEST(TraceRing, StagedEventsPublishOnBatchFillAndUnbind) {
+  if (!trace::kEnabled) GTEST_SKIP() << "built with FOMPI_TRACE=OFF";
+  constexpr std::size_t kBatch = trace::detail::Stage::kStageEvents;
+  Ring ring(4 * kBatch);
+  {
+    BindGuard bind(&ring);
+    // One short of a full staging buffer: nothing published yet.
+    for (std::size_t i = 0; i < kBatch - 1; ++i) {
+      trace::emit(EvClass::put, EvPhase::issue, -1, i);
+    }
+    EXPECT_EQ(ring.size(), 0u) << "staged events published early";
+    // The batch-filling event publishes all of them with one release store.
+    trace::emit(EvClass::put, EvPhase::issue, -1, kBatch - 1);
+    ASSERT_EQ(ring.size(), kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      EXPECT_EQ(ring[i].arg, i) << "batch publish must preserve order";
+    }
+    // A partial batch stays staged until flushed or unbound.
+    trace::emit(EvClass::get, EvPhase::issue, -1, kBatch);
+    EXPECT_EQ(ring.size(), kBatch);
+  }
+  // BindGuard unbind flushed the partial batch.
+  ASSERT_EQ(ring.size(), kBatch + 1);
+  EXPECT_EQ(ring[kBatch].cls, EvClass::get);
 }
 
 TEST(TraceRing, SpanArmsOnlyWhenBoundAtConstruction) {
