@@ -12,7 +12,7 @@ namespace {
 constexpr int kNeighbors = 6;
 
 double run_proto(int p, apps::DsdeProto proto) {
-  return measure(p, internode_model(), 3, [&](fabric::RankCtx& ctx) {
+  return measure(p, internode_model(), 7, [&](fabric::RankCtx& ctx) {
            const auto sends = apps::dsde_random_workload(
                ctx.rank(), p, std::min(kNeighbors, p - 1), 5);
            if (proto == apps::DsdeProto::rma) {
@@ -40,14 +40,18 @@ int main() {
               "neighbors\n\n", kNeighbors);
 
   header("thread-rank execution (real protocols)");
-  std::printf("%-8s%16s%16s%16s%16s\n", "p", "FOMPI RMA", "NBX",
-              "Reduce_scatter", "Alltoall");
-  for (int p : {4, 8}) {
-    std::printf("%-8d%16.1f%16.1f%16.1f%16.1f\n", p,
+  std::printf("%-8s%16s%16s%16s%16s%16s\n", "p", "FOMPI RMA", "NBX",
+              "Reduce_scatter", "A2A (p2p old)", "A2A (RMA new)");
+  for (int p : {4, 8, 16}) {
+    const double a2a_p2p = run_proto(p, apps::DsdeProto::alltoall_p2p);
+    const double a2a_rma = run_proto(p, apps::DsdeProto::alltoall);
+    std::printf("%-8d%16.1f%16.1f%16.1f%16.1f%16.1f\n", p,
                 run_proto(p, apps::DsdeProto::rma),
                 run_proto(p, apps::DsdeProto::nbx),
-                run_proto(p, apps::DsdeProto::reduce_scatter),
-                run_proto(p, apps::DsdeProto::alltoall));
+                run_proto(p, apps::DsdeProto::reduce_scatter), a2a_p2p,
+                a2a_rma);
+    std::printf("%-8s alltoall old->new improvement: %.1f%%\n", "",
+                100.0 * (a2a_p2p - a2a_rma) / a2a_p2p);
   }
 
   header("discrete-event simulation to 32k processes");

@@ -17,7 +17,7 @@ namespace {
 
 double run_fft_us(int p, apps::FftBackend backend) {
   constexpr int nx = 32, ny = 16, nz = 32;
-  return measure(p, internode_model(), 3, [&](fabric::RankCtx& ctx) {
+  return measure(p, internode_model(), 7, [&](fabric::RankCtx& ctx) {
            apps::Fft3d fft(ctx, nx, ny, nz, backend);
            Rng rng(3 + static_cast<std::uint64_t>(ctx.rank()));
            std::vector<apps::cplx> in(fft.local_in_elems());
@@ -42,10 +42,16 @@ int main() {
   header("thread-rank execution: 32x16x32 forward on 4 ranks [us]");
   const double p2p_us = run_fft_us(4, apps::FftBackend::p2p);
   const double rma_us = run_fft_us(4, apps::FftBackend::rma_overlap);
+  const double a2av_us = run_fft_us(4, apps::FftBackend::alltoallv);
   std::printf("%-24s%12.0f\n", "nonblocking MPI", p2p_us);
   std::printf("%-24s%12.0f\n", "FOMPI slab overlap", rma_us);
-  std::printf("%-24s%11.1f%%\n", "improvement",
+  std::printf("%-24s%12.0f\n", "FOMPI alltoallv", a2av_us);
+  std::printf("%-24s%11.1f%%  (overlap vs MPI)\n", "improvement",
               100.0 * (p2p_us - rma_us) / p2p_us);
+  std::printf("%-24s%11.1f%%  (alltoallv vs MPI)\n", "improvement",
+              100.0 * (p2p_us - a2av_us) / p2p_us);
+  std::printf("%-24s%11.1f%%  (alltoallv vs overlap: old RMA -> new RMA)\n",
+              "improvement", 100.0 * (rma_us - a2av_us) / rma_us);
 
   header("strong-scaling model, class D (2048x1024x1024) [GFlop/s]");
   std::printf("%-10s%14s%14s%14s%14s\n", "p", "MPI-1", "UPC-like",

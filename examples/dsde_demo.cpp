@@ -19,8 +19,9 @@ int main(int argc, char** argv) {
   constexpr int kRanks = 8;
 
   for (const auto proto :
-       {apps::DsdeProto::alltoall, apps::DsdeProto::reduce_scatter,
-        apps::DsdeProto::nbx, apps::DsdeProto::rma}) {
+       {apps::DsdeProto::alltoall, apps::DsdeProto::alltoall_p2p,
+        apps::DsdeProto::reduce_scatter, apps::DsdeProto::nbx,
+        apps::DsdeProto::rma}) {
     double us = 0;
     std::uint64_t delivered = 0, checksum = 0;
     fabric::run_ranks(kRanks, [&](fabric::RankCtx& ctx) {

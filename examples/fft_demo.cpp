@@ -19,9 +19,12 @@ int main() {
   constexpr int nx = 32, ny = 16, nz = 32;
 
   for (const auto backend :
-       {apps::FftBackend::p2p, apps::FftBackend::rma_overlap}) {
-    const char* name =
-        backend == apps::FftBackend::p2p ? "nonblocking MPI" : "RMA overlap";
+       {apps::FftBackend::p2p, apps::FftBackend::rma_overlap,
+        apps::FftBackend::alltoallv}) {
+    const char* name = backend == apps::FftBackend::p2p ? "nonblocking MPI"
+                       : backend == apps::FftBackend::rma_overlap
+                           ? "RMA overlap"
+                           : "RMA alltoallv";
     double us = 0, err = 0;
     fabric::run_ranks(kRanks, [&](fabric::RankCtx& ctx) {
       apps::Fft3d fft(ctx, nx, ny, nz, backend);

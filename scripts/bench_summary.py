@@ -6,7 +6,8 @@ flattens each bench's "cases" arrays — including nested sections like
 bench_datatype's "software"/"modeled" — into a single map of
 
     "<bench>/<section>/<case>" -> headline metric (ns_per_op, ns_per_elem,
-    or — for rate benches like bench_throughput — mops_per_s)
+    or — for rate benches like bench_throughput — mops_per_s, or — for
+    bench_collectives — us_per_op)
 
 and writes BENCH_summary.json next to the inputs. Fault-injection counters
 (fault_injected / op_retried / op_failed) that a case reports are exported
@@ -20,7 +21,7 @@ import json
 import pathlib
 import sys
 
-HEADLINE_KEYS = ("ns_per_op", "ns_per_elem", "mops_per_s")
+HEADLINE_KEYS = ("ns_per_op", "ns_per_elem", "mops_per_s", "us_per_op")
 FAULT_KEYS = ("fault_injected", "op_retried", "op_failed")
 
 

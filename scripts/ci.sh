@@ -9,11 +9,13 @@
 #   3. ThreadSanitizer build + the concurrency-heavy tests (datatype
 #      flatten-cache sharing, RDMA issue paths, locks, comm, accumulate,
 #      flight-recorder tracing, doorbell batching/striping, fault
-#      injection/recovery incl. Delivery::deferred under a fault plan)
+#      injection/recovery incl. Delivery::deferred under a fault plan,
+#      RMA-native collectives incl. forced trees and persistent plans)
 #   4. Benchmark smoke run (bench_fastpath + bench_datatype +
-#      bench_throughput JSON emission and two figure benches; the
-#      throughput bench self-gates >=2x batched speedup and monotone
-#      striping, exiting non-zero on violation)
+#      bench_throughput + bench_collectives JSON emission and two figure
+#      benches; the throughput bench self-gates >=2x batched speedup and
+#      monotone striping, the collectives bench self-gates log-p DES
+#      shapes, exiting non-zero on violation)
 #   5. Trace-artifact gate: the Perfetto timeline bench_fig6b_fence emitted
 #      must be valid JSON and must have dropped zero events
 #   6. Fault fast-path gate: arming an (idle) fault plan must not tax the
@@ -40,7 +42,7 @@ ctest --test-dir build --output-on-failure
 cmake -B build-tsan -G Ninja -DFOMPI_SANITIZE=thread
 cmake --build build-tsan --target \
   test_rdma test_lock test_datatype test_comm test_accumulate test_trace \
-  test_batch test_fault
+  test_batch test_fault test_collectives
 ./build-tsan/tests/test_rdma
 ./build-tsan/tests/test_lock
 ./build-tsan/tests/test_datatype
@@ -49,6 +51,7 @@ cmake --build build-tsan --target \
 ./build-tsan/tests/test_trace
 ./build-tsan/tests/test_batch
 ./build-tsan/tests/test_fault
+./build-tsan/tests/test_collectives
 
 scripts/bench_smoke.sh
 

@@ -15,6 +15,7 @@ constexpr int kTagData = 301;
 const char* to_string(DsdeProto p) noexcept {
   switch (p) {
     case DsdeProto::alltoall:       return "alltoall";
+    case DsdeProto::alltoall_p2p:   return "alltoall_p2p";
     case DsdeProto::reduce_scatter: return "reduce_scatter";
     case DsdeProto::nbx:            return "nbx";
     case DsdeProto::rma:            return "rma";
@@ -43,6 +44,47 @@ namespace {
 
 std::vector<DsdeMsg> exchange_alltoall(fabric::RankCtx& ctx,
                                        const std::vector<DsdeMsg>& sends) {
+  // Counts and payloads both travel through the RMA-native alltoallv:
+  // the count exchange rides the put/notify trees and the payload phase
+  // is one put per nonzero destination plus the arrival counter — no
+  // two-sided matching anywhere.
+  const int p = ctx.nranks();
+  auto& coll = ctx.fabric().coll();
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(p), 0);
+  for (const auto& m : sends) ++counts[static_cast<std::size_t>(m.peer)];
+  std::vector<std::uint64_t> sdispls(static_cast<std::size_t>(p), 0);
+  for (int j = 1; j < p; ++j) {
+    sdispls[static_cast<std::size_t>(j)] =
+        sdispls[static_cast<std::size_t>(j - 1)] +
+        counts[static_cast<std::size_t>(j - 1)];
+  }
+  // Pack payloads grouped by destination.
+  std::vector<std::uint64_t> packed(sends.size());
+  {
+    std::vector<std::uint64_t> fill = sdispls;
+    for (const auto& m : sends) {
+      packed[static_cast<std::size_t>(fill[static_cast<std::size_t>(m.peer)]++)] =
+          m.payload;
+    }
+  }
+  std::vector<std::uint64_t> dst, recvcounts, rdispls;
+  coll.alltoallv(ctx.rank(), packed.data(), counts.data(), sdispls.data(), dst,
+                 recvcounts, rdispls);
+  std::vector<DsdeMsg> received;
+  received.reserve(dst.size());
+  for (int src = 0; src < p; ++src) {
+    for (std::uint64_t i = 0; i < recvcounts[static_cast<std::size_t>(src)];
+         ++i) {
+      received.push_back(DsdeMsg{
+          src, dst[static_cast<std::size_t>(
+                   rdispls[static_cast<std::size_t>(src)] + i)]});
+    }
+  }
+  return received;
+}
+
+std::vector<DsdeMsg> exchange_alltoall_p2p(fabric::RankCtx& ctx,
+                                           const std::vector<DsdeMsg>& sends) {
   const int p = ctx.nranks();
   auto& p2p = ctx.fabric().p2p();
   // Dense count matrix: column exchange via alltoall.
@@ -202,6 +244,7 @@ std::vector<DsdeMsg> dsde_exchange(fabric::RankCtx& ctx, DsdeProto proto,
   }
   switch (proto) {
     case DsdeProto::alltoall:       return exchange_alltoall(ctx, sends);
+    case DsdeProto::alltoall_p2p:   return exchange_alltoall_p2p(ctx, sends);
     case DsdeProto::reduce_scatter: return exchange_reduce_scatter(ctx, sends);
     case DsdeProto::nbx:            return exchange_nbx(ctx, sends);
     case DsdeProto::rma: {

@@ -3,7 +3,11 @@
 // Every process holds data for a few arbitrary targets; nobody knows who
 // will send to them. The four protocols of Hoefler et al. [15], all
 // implemented for real over the fabric:
-//   * alltoall       — dense count exchange, then direct messages;
+//   * alltoall       — dense count exchange + payload movement, both as
+//                      one RMA-native alltoallv (put/notify trees);
+//   * alltoall_p2p   — the classic form: dense count exchange, then
+//                      two-sided point-to-point messages (kept as the
+//                      old-vs-new comparison baseline in Fig 7b);
 //   * reduce_scatter — each rank learns only its incoming count, then
 //                      wildcard-receives that many messages;
 //   * nbx            — speculative synchronous sends + nonblocking barrier
@@ -20,7 +24,7 @@
 
 namespace fompi::apps {
 
-enum class DsdeProto { alltoall, reduce_scatter, nbx, rma };
+enum class DsdeProto { alltoall, alltoall_p2p, reduce_scatter, nbx, rma };
 
 const char* to_string(DsdeProto p) noexcept;
 

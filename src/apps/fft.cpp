@@ -61,17 +61,38 @@ Fft3d::Fft3d(fabric::RankCtx& ctx, int nx, int ny, int nz,
                 "fft: nx and nz must be divisible by the rank count");
   lz_ = nz_ / p_;
   lx_ = nx_ / p_;
-  // Transpose landing area: one section per source rank, both directions
-  // use blocks of the same size lz*ny*lx.
+  // Both transpose directions move blocks of the same size lz*ny*lx, one
+  // per (src, dst) pair.
   const std::size_t section =
       static_cast<std::size_t>(lz_) * static_cast<std::size_t>(ny_) *
       static_cast<std::size_t>(lx_);
+  if (backend_ == FftBackend::alltoallv) {
+    // Uniform persistent plan: count/displacement exchange and landing
+    // registration happen here, once; every transpose is then a single
+    // run_alltoallv.
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(p_), section);
+    std::vector<std::uint64_t> displs(static_cast<std::size_t>(p_));
+    for (int j = 0; j < p_; ++j) {
+      displs[static_cast<std::size_t>(j)] =
+          static_cast<std::uint64_t>(j) * section;
+    }
+    plan_ = ctx.fabric().coll().plan_alltoallv(rank_, counts.data(),
+                                               displs.data(), sizeof(cplx));
+    abuf_.resize(static_cast<std::size_t>(p_) * section);
+    rbuf_.resize(static_cast<std::size_t>(p_) * section);
+    return;
+  }
+  // p2p / rma_overlap: transpose landing area, one section per source rank.
   win_ = core::Win::allocate(
       ctx, static_cast<std::size_t>(p_) * section * sizeof(cplx));
 }
 
 void Fft3d::destroy(fabric::RankCtx& ctx) {
   ctx.barrier();
+  if (backend_ == FftBackend::alltoallv) {
+    plan_.reset();  // after the barrier: nobody is still inside a run
+    return;
+  }
   win_.free();
 }
 
@@ -157,6 +178,42 @@ void Fft3d::transpose_forward(fabric::RankCtx& ctx, cplx* work, cplx* out) {
     return;
   }
 
+  if (backend_ == FftBackend::alltoallv) {
+    // Persistent collective: pack destination-major, one run, unpack.
+    // The run's leading barrier orders this transpose against the
+    // previous collective, so abuf_/rbuf_ reuse is safe with no trailing
+    // barrier here.
+    for (int dest = 0; dest < p_; ++dest) {
+      cplx* buf = abuf_.data() + static_cast<std::size_t>(dest) * section;
+      for (int z = 0; z < lz_; ++z) {
+        for (int y = 0; y < ny_; ++y) {
+          for (int xl = 0; xl < lx_; ++xl) {
+            buf[static_cast<std::size_t>(z) * plane_block +
+                static_cast<std::size_t>(y) * lx_ + xl] =
+                work[static_cast<std::size_t>(z) * ny_ * nx_ +
+                     static_cast<std::size_t>(y) * nx_ + dest * lx_ + xl];
+          }
+        }
+      }
+    }
+    ctx.fabric().coll().run_alltoallv(rank_, *plan_, abuf_.data(),
+                                      rbuf_.data());
+    for (int src = 0; src < p_; ++src) {
+      const cplx* buf = rbuf_.data() + static_cast<std::size_t>(src) * section;
+      for (int zl = 0; zl < lz_; ++zl) {
+        for (int y = 0; y < ny_; ++y) {
+          for (int xl = 0; xl < lx_; ++xl) {
+            out[static_cast<std::size_t>(xl) * nz_ * ny_ +
+                static_cast<std::size_t>(src * lz_ + zl) * ny_ + y] =
+                buf[static_cast<std::size_t>(zl) * plane_block +
+                    static_cast<std::size_t>(y) * lx_ + xl];
+          }
+        }
+      }
+    }
+    return;
+  }
+
   // p2p transpose: pack all, exchange, unpack.
   std::vector<std::vector<cplx>> sendbuf(static_cast<std::size_t>(p_));
   for (int dest = 0; dest < p_; ++dest) {
@@ -233,6 +290,18 @@ void Fft3d::transpose_backward(fabric::RankCtx& ctx, cplx* work, cplx* out) {
       }
     }
   };
+
+  if (backend_ == FftBackend::alltoallv) {
+    for (int dest = 0; dest < p_; ++dest) {
+      pack_for(dest, abuf_.data() + static_cast<std::size_t>(dest) * section);
+    }
+    ctx.fabric().coll().run_alltoallv(rank_, *plan_, abuf_.data(),
+                                      rbuf_.data());
+    for (int src = 0; src < p_; ++src) {
+      unpack_from(src, rbuf_.data() + static_cast<std::size_t>(src) * section);
+    }
+    return;
+  }
 
   if (backend_ == FftBackend::rma_overlap) {
     win_.fence();

@@ -10,13 +10,19 @@
 //                   are put into the destination windows (implicit
 //                   nonblocking), overlapping with the next plane's
 //                   compute; a single fence completes the transpose.
+//   * alltoallv   — the transpose as one persistent RMA-native collective
+//                   (fabric plan_alltoallv, planned once in the
+//                   constructor): pack, run, unpack — counts/offsets and
+//                   landing registration are amortized across transforms.
 // The local 1D kernel is an iterative radix-2 Cooley-Tukey transform.
 #pragma once
 
 #include <complex>
+#include <memory>
 #include <vector>
 
 #include "core/window.hpp"
+#include "fabric/collectives.hpp"
 
 namespace fompi::apps {
 
@@ -25,7 +31,7 @@ using cplx = std::complex<double>;
 /// In-place radix-2 FFT; n must be a power of two. inverse includes 1/n.
 void fft1d(cplx* a, std::size_t n, bool inverse);
 
-enum class FftBackend { p2p, rma_overlap };
+enum class FftBackend { p2p, rma_overlap, alltoallv };
 
 class Fft3d {
  public:
@@ -59,7 +65,11 @@ class Fft3d {
   int p_ = 0, rank_ = -1;
   int lz_ = 0, lx_ = 0;
   FftBackend backend_;
-  core::Win win_;  // rma_overlap transpose landing area
+  core::Win win_;  // p2p/rma_overlap transpose landing area
+  /// alltoallv backend: the persistent plan plus reusable pack/unpack
+  /// staging (sized once, so repeated transforms stay allocation-light).
+  std::shared_ptr<fabric::AlltoallvPlan> plan_;
+  std::vector<cplx> abuf_, rbuf_;
 };
 
 /// Convenience: naive O(n^2) DFT along one axis for validation.

@@ -79,11 +79,14 @@ MilcSolver::MilcSolver(fabric::RankCtx& ctx, const MilcConfig& cfg)
     }
     nwin_.emplace(ctx, bytes, /*num_ids=*/8);
   }
+  // All backends share the persistent dot-product allreduce (1 double).
+  dot_plan_ = ctx.fabric().coll().plan_allreduce(rank_, 1, sizeof(double));
   ctx.barrier();
 }
 
 void MilcSolver::destroy(fabric::RankCtx& ctx) {
   ctx.barrier();
+  dot_plan_.reset();  // after the barrier: no rank is still inside a dot()
   if (cfg_.backend == MilcBackend::rma) {
     win_.unlock_all();
     win_.free();
@@ -349,7 +352,9 @@ double MilcSolver::dot(fabric::RankCtx& ctx, const std::vector<double>& a,
   double local = 0;
   for (std::size_t i = 0; i < a.size(); ++i) local += a[i] * b[i];
   double global = 0;
-  ctx.allreduce(&local, &global, 1, [](double x, double y) { return x + y; });
+  ctx.fabric().coll().run_allreduce(
+      rank_, *dot_plan_, &local, &global,
+      [](double x, double y) { return x + y; });
   return global;
 }
 

@@ -20,11 +20,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/notify.hpp"
 #include "core/window.hpp"
+#include "fabric/collectives.hpp"
 
 namespace fompi::apps {
 
@@ -93,6 +95,10 @@ class MilcSolver {
   // arrives together with its notification.
   std::optional<core::NotifyWin> nwin_;
   std::array<std::size_t, 8> recv_off_{};
+
+  // Persistent allreduce for the CG dot products: geometry planned once
+  // at construction, every dot() re-drives it allocation-free.
+  std::shared_ptr<fabric::AllreducePlan> dot_plan_;
 };
 
 /// Builds a process grid for `p` ranks: factors p into 4 near-equal

@@ -14,7 +14,8 @@ Fabric::Fabric(FabricOptions opts) : opts_(opts), domain_(opts.domain) {
   if (opts_.hang_timeout_ns != 0) {
     watchdog_deadline_ns_ = now_ns() + opts_.hang_timeout_ns;
   }
-  coll_ = std::make_unique<Collectives>(domain_, [this] { yield_check(); });
+  coll_ = std::make_unique<Collectives>(domain_, [this] { yield_check(); },
+                                        opts_.coll);
   p2p_ = std::make_unique<P2P>(domain_, [this] { yield_check(); },
                                opts_.eager_threshold);
   // NIC model-time completion spins (wait/gsync) poll this hook so a peer

@@ -436,6 +436,15 @@ void Nic::wait_model_time(std::uint64_t complete_at) {
   }
 }
 
+void Nic::charge_model_ns(double ns) {
+  if (domain_.config().inject != Injection::model || ns <= 0.0) return;
+  const std::uint64_t done =
+      now_ns() +
+      static_cast<std::uint64_t>(ns * domain_.config().time_scale);
+  if (done > latest_complete_at_) latest_complete_at_ = done;
+  wait_model_time(done);
+}
+
 void Nic::PendingOp::stage_payload(const void* src, std::size_t n) {
   staged_len = n;
   if (n <= kInlineStage) {

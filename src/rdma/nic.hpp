@@ -180,6 +180,12 @@ class Nic {
   /// intra-node path.
   void local_fence();
 
+  /// Charges `ns` of modeled time to this rank for work the NIC did not
+  /// perform itself (e.g. the collectives' shared-memory copy fallback, the
+  /// moral equivalent of an XPMEM attach + memcpy). Scaled by time_scale
+  /// and folded into latest_complete_at_; a no-op under Injection::none.
+  void charge_model_ns(double ns);
+
   /// Explicit nonblocking operations with a live (unretired) handle.
   std::size_t explicit_outstanding() const noexcept { return explicit_live_; }
   /// Implicit operations issued since the last gsync. Counts every

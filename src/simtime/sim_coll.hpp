@@ -1,0 +1,57 @@
+// Closed-form latency models for the RMA-native collectives
+// (src/fabric/collectives) at the paper's scales (up to 512k+ processes).
+//
+// The thread-rank runtime measures the real put/notify trees at up to a few
+// dozen ranks; these forms extend the curves using the same Gemini per-op
+// constants the runtime charges (network_model.hpp), so the claims they
+// support are about round-count *shape* — O(log p) for the tree
+// collectives, O(log nodes) for the hierarchical ones — not absolute
+// numbers.
+#pragma once
+
+#include <cstddef>
+
+namespace fompi::sim {
+
+enum class CollOp {
+  barrier,    ///< dissemination: ceil(log2 p) 8-byte notify rounds
+  bcast,      ///< binomial tree (hierarchical when ranks_per_node > 1)
+  allreduce,  ///< recursive doubling (hierarchical when ranks_per_node > 1)
+  allgather,  ///< Bruck: log rounds, total bytes still (p-1) * nbytes
+  alltoallv,  ///< persistent-plan run path: barrier + k sparse puts + AMOs
+};
+
+struct CollParams {
+  /// One-way latency of a small (FMA-sized) inter-node put.
+  double put_base_us = 1.0;
+  /// Software/injection cost at the origin per issued op (matches the
+  /// Gemini inter_overhead_ns the runtime charges).
+  double overhead_us = 0.416;
+  /// Inter-node serialization per payload byte.
+  double put_byte_ns = 0.16;
+  /// Inter-node AMO latency (the alltoallv arrival counter).
+  double amo_us = 2.4;
+  /// Intra-node copy/put costs (the hierarchy's gather/release tier and
+  /// the flat fallback's modeled copy).
+  double intra_base_us = 0.35;
+  double intra_overhead_us = 0.08;
+  double intra_byte_ns = 0.08;
+  /// Ranks per node: 1 = flat trees over all p ranks; > 1 enables the
+  /// two-tier hierarchy (intra-node gather, inter-node tree over p /
+  /// ranks_per_node leaders).
+  int ranks_per_node = 1;
+  /// Nonzero destinations per rank in the (sparse) persistent alltoallv.
+  int neighbors = 8;
+  /// Per-destination payload (bcast/allreduce: full vector; allgather:
+  /// contribution block; alltoallv: bytes per neighbor).
+  std::size_t nbytes = 8;
+};
+
+/// Latency in microseconds of one collective over p processes. The
+/// alltoallv form models the *persistent* run path (plan_alltoallv +
+/// run_alltoallv): the dense O(p) count exchange is paid once at plan time
+/// and amortized away, which is exactly what makes the steady-state cost
+/// O(log p) + O(neighbors).
+double simulate_coll_us(CollOp op, int p, const CollParams& params = {});
+
+}  // namespace fompi::sim

@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <numeric>
+#include <utility>
 
+#include "common/instr.hpp"
 #include "fabric/fabric.hpp"
 
 using namespace fompi;
@@ -142,7 +144,7 @@ TEST_P(CollParam, IbarrierCompletesEverywhere) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, CollParam,
-                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16));
 
 TEST(Collectives, IbarrierDoubleBeginRejected) {
   fabric::run_ranks(2, [&](RankCtx& ctx) {
@@ -165,6 +167,331 @@ TEST(Collectives, BarrierWorksOverInterNodeModel) {
   fabric::run_ranks(4, [&](RankCtx& ctx) {
     for (int i = 0; i < 3; ++i) ctx.barrier();
   }, opts);
+}
+
+// --- forced tree path (PR 7) -------------------------------------------------
+// flat_cutoff = 0 disables the single-node pointer-publication fallback,
+// so every collective takes the RMA put/notify trees even on tiny
+// payloads; ranks_per_node = 1 makes every rank its own node.
+
+namespace {
+
+fabric::FabricOptions tree_opts() {
+  fabric::FabricOptions opts;
+  opts.domain.ranks_per_node = 1;
+  opts.coll.flat_cutoff = 0;
+  return opts;
+}
+
+/// Drives every data collective once and checks the results; shared by
+/// the forced-tree, hierarchical and deferred-delivery suites.
+void exercise_all_collectives(RankCtx& ctx) {
+  auto& coll = ctx.fabric().coll();
+  const int p = ctx.nranks();
+  const int r = ctx.rank();
+
+  // bcast, small and large (large crosses the landing-grow path), from
+  // rank 0 and from the last rank.
+  for (const int root : {0, p - 1}) {
+    std::vector<std::uint64_t> data(1200, 0);
+    if (r == root) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = 900 + i;
+      }
+    }
+    coll.bcast(r, root, data.data(), data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      ASSERT_EQ(data[i], 900 + i) << "root " << root;
+    }
+  }
+
+  // allgather.
+  std::vector<std::uint64_t> mine(5);
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    mine[i] = static_cast<std::uint64_t>(r) * 100 + i;
+  }
+  std::vector<std::uint64_t> all(static_cast<std::size_t>(p) * 5);
+  coll.allgather(r, mine.data(), mine.size(), all.data());
+  for (int j = 0; j < p; ++j) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      ASSERT_EQ(all[static_cast<std::size_t>(j) * 5 + i],
+                static_cast<std::uint64_t>(j) * 100 + i);
+    }
+  }
+
+  // allreduce: sum of doubles (order-sensitive enough to catch fold
+  // mistakes bit-wise across ranks) and min of u64.
+  {
+    std::vector<double> src(7), dst(7);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      src[i] = static_cast<double>(r + 1) * (static_cast<double>(i) + 0.5);
+    }
+    coll.allreduce(r, src.data(), dst.data(), src.size(),
+                   [](double a, double b) { return a + b; });
+    const double ranksum = static_cast<double>(p) * (p + 1) / 2;
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      ASSERT_NEAR(dst[i], ranksum * (static_cast<double>(i) + 0.5), 1e-9);
+    }
+  }
+
+  // reduce to a non-zero root (commutative op).
+  {
+    const std::uint64_t v = static_cast<std::uint64_t>(r) + 1;
+    std::uint64_t out = 0;
+    const int root = p / 2;
+    coll.reduce(r, root, &v, &out, 1,
+                [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    if (r == root) {
+      ASSERT_EQ(out, static_cast<std::uint64_t>(p) * (p + 1) / 2);
+    }
+  }
+
+  // reduce_scatter_block.
+  {
+    std::vector<std::uint64_t> src(static_cast<std::size_t>(p));
+    for (int j = 0; j < p; ++j) {
+      src[static_cast<std::size_t>(j)] = static_cast<std::uint64_t>(r + j);
+    }
+    std::uint64_t out = 0;
+    coll.reduce_scatter_block(
+        r, src.data(), &out, 1,
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    ASSERT_EQ(out, static_cast<std::uint64_t>(p) * r +
+                       static_cast<std::uint64_t>(p) * (p - 1) / 2);
+  }
+
+  // alltoall, small (Bruck) and large (direct put + arrival counter).
+  for (const std::size_t n : {std::size_t{2}, std::size_t{300}}) {
+    std::vector<std::uint64_t> src(static_cast<std::size_t>(p) * n);
+    for (int j = 0; j < p; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        src[static_cast<std::size_t>(j) * n + i] =
+            static_cast<std::uint64_t>(r) * 1000000 +
+            static_cast<std::uint64_t>(j) * 1000 + i;
+      }
+    }
+    std::vector<std::uint64_t> dst(static_cast<std::size_t>(p) * n, 0);
+    coll.alltoall(r, src.data(), n, dst.data());
+    for (int j = 0; j < p; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(dst[static_cast<std::size_t>(j) * n + i],
+                  static_cast<std::uint64_t>(j) * 1000000 +
+                      static_cast<std::uint64_t>(r) * 1000 + i)
+            << "n=" << n;
+      }
+    }
+  }
+
+  // alltoallv with skewed counts including zeros: rank r sends (r + j) % 3
+  // elements to rank j.
+  {
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(p));
+    std::vector<std::uint64_t> sdispls(static_cast<std::size_t>(p));
+    std::uint64_t tot = 0;
+    for (int j = 0; j < p; ++j) {
+      counts[static_cast<std::size_t>(j)] =
+          static_cast<std::uint64_t>((r + j) % 3);
+      sdispls[static_cast<std::size_t>(j)] = tot;
+      tot += counts[static_cast<std::size_t>(j)];
+    }
+    std::vector<std::uint64_t> src(std::max<std::uint64_t>(tot, 1));
+    for (int j = 0; j < p; ++j) {
+      for (std::uint64_t i = 0; i < counts[static_cast<std::size_t>(j)];
+           ++i) {
+        src[sdispls[static_cast<std::size_t>(j)] + i] =
+            static_cast<std::uint64_t>(r) * 1000 +
+            static_cast<std::uint64_t>(j) * 10 + i;
+      }
+    }
+    std::vector<std::uint64_t> dst, recvcounts, rdispls;
+    coll.alltoallv(r, src.data(), counts.data(), sdispls.data(), dst,
+                   recvcounts, rdispls);
+    for (int j = 0; j < p; ++j) {
+      ASSERT_EQ(recvcounts[static_cast<std::size_t>(j)],
+                static_cast<std::uint64_t>((j + r) % 3));
+      for (std::uint64_t i = 0; i < recvcounts[static_cast<std::size_t>(j)];
+           ++i) {
+        ASSERT_EQ(dst[rdispls[static_cast<std::size_t>(j)] + i],
+                  static_cast<std::uint64_t>(j) * 1000 +
+                      static_cast<std::uint64_t>(r) * 10 + i);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+class TreeColl : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeColl, AllDataCollectivesOverForcedTrees) {
+  fabric::run_ranks(GetParam(),
+                    [](RankCtx& ctx) { exercise_all_collectives(ctx); },
+                    tree_opts());
+}
+
+TEST_P(TreeColl, AllDataCollectivesWithForcedBruckAlltoall) {
+  // bruck_min_ranks = 2 routes the small alltoall blocks through the
+  // Bruck store-and-forward algorithm at every rank count here (the
+  // default keeps these counts on the direct path).
+  auto opts = tree_opts();
+  opts.coll.bruck_min_ranks = 2;
+  fabric::run_ranks(GetParam(),
+                    [](RankCtx& ctx) { exercise_all_collectives(ctx); },
+                    opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, TreeColl,
+                         ::testing::Values(2, 3, 5, 7, 12, 16));
+
+TEST(TreeColl, WorksUnderGeminiModel) {
+  auto opts = tree_opts();
+  opts.domain.inject = rdma::Injection::model;
+  fabric::run_ranks(4, [](RankCtx& ctx) { exercise_all_collectives(ctx); },
+                    opts);
+}
+
+TEST(TreeColl, WorksUnderShuffledDeferredDelivery) {
+  // Deferred + shuffled delivery is the adversarial ordering model: data
+  // may land out of order, so the gsync-then-flag protocol is load-bearing.
+  auto opts = tree_opts();
+  opts.domain.delivery = rdma::Delivery::deferred;
+  opts.domain.shuffle_deferred = true;
+  fabric::run_ranks(5, [](RankCtx& ctx) { exercise_all_collectives(ctx); },
+                    opts);
+}
+
+// --- two-tier hierarchy (PR 7) ----------------------------------------------
+
+class HierColl : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(HierColl, AllDataCollectivesOverTwoTierTrees) {
+  const auto [p, rpn] = GetParam();
+  fabric::FabricOptions opts;
+  opts.domain.ranks_per_node = rpn;
+  opts.coll.flat_cutoff = 0;
+  fabric::run_ranks(p,
+                    [&](RankCtx& ctx) {
+                      EXPECT_TRUE(ctx.fabric().coll().hierarchical());
+                      exercise_all_collectives(ctx);
+                    },
+                    opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HierColl,
+                         ::testing::Values(std::make_pair(8, 2),
+                                           std::make_pair(12, 4),
+                                           std::make_pair(16, 4)));
+
+// --- persistent collectives (PR 7) -------------------------------------------
+
+TEST(PersistentColl, AlltoallvPlanMatchesAdHocAndIsReusable) {
+  const int p = 4;
+  fabric::run_ranks(
+      p,
+      [&](RankCtx& ctx) {
+        auto& coll = ctx.fabric().coll();
+        const int r = ctx.rank();
+        std::vector<std::uint64_t> counts(static_cast<std::size_t>(p));
+        std::vector<std::uint64_t> sdispls(static_cast<std::size_t>(p));
+        std::uint64_t tot = 0;
+        for (int j = 0; j < p; ++j) {
+          counts[static_cast<std::size_t>(j)] =
+              static_cast<std::uint64_t>((r + j) % 3 + 1);
+          sdispls[static_cast<std::size_t>(j)] = tot;
+          tot += counts[static_cast<std::size_t>(j)];
+        }
+        auto plan = coll.plan_alltoallv(r, counts.data(), sdispls.data(),
+                                        sizeof(std::uint64_t));
+        for (int round = 0; round < 4; ++round) {
+          std::vector<std::uint64_t> src(tot);
+          for (std::uint64_t i = 0; i < tot; ++i) {
+            src[i] = static_cast<std::uint64_t>(r) * 10000 +
+                     static_cast<std::uint64_t>(round) * 100 + i;
+          }
+          // Reference via the ad-hoc path.
+          std::vector<std::uint64_t> want, recvcounts, rdispls;
+          coll.alltoallv(r, src.data(), counts.data(), sdispls.data(), want,
+                         recvcounts, rdispls);
+          std::vector<std::uint64_t> got(want.size(), 0);
+          coll.run_alltoallv(r, *plan, src.data(), got.data());
+          EXPECT_EQ(got, want) << "round " << round;
+        }
+        ctx.barrier();
+      },
+      tree_opts());
+}
+
+TEST(PersistentColl, AllreducePlanMatchesAdHocAndIsReusable) {
+  const int p = 6;
+  fabric::run_ranks(
+      p,
+      [&](RankCtx& ctx) {
+        auto& coll = ctx.fabric().coll();
+        const int r = ctx.rank();
+        constexpr std::size_t n = 9;
+        auto plan = coll.plan_allreduce(r, n, sizeof(double));
+        for (int round = 0; round < 4; ++round) {
+          std::vector<double> src(n), want(n), got(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            src[i] = static_cast<double>(r + 1) *
+                     (static_cast<double>(i) + 0.25 * (round + 1));
+          }
+          coll.allreduce(r, src.data(), want.data(), n,
+                         [](double a, double b) { return a + b; });
+          coll.run_allreduce(r, *plan, src.data(), got.data(),
+                             [](double a, double b) { return a + b; });
+          EXPECT_EQ(got, want) << "round " << round;  // bit-identical fold
+        }
+        ctx.barrier();
+      },
+      tree_opts());
+}
+
+TEST(PersistentColl, SteadyStateRunsAreAllocationFree) {
+  // After a warm-up run, repeated run_alltoallv/run_allreduce must not
+  // grow any NIC pool or register new regions: the plan owns all state.
+  const int p = 4;
+  fabric::run_ranks(
+      p,
+      [&](RankCtx& ctx) {
+        auto& coll = ctx.fabric().coll();
+        auto& reg = ctx.fabric().domain().registry();
+        const int r = ctx.rank();
+        std::vector<std::uint64_t> counts(static_cast<std::size_t>(p), 3);
+        std::vector<std::uint64_t> sdispls(static_cast<std::size_t>(p));
+        for (int j = 0; j < p; ++j) {
+          sdispls[static_cast<std::size_t>(j)] =
+              static_cast<std::uint64_t>(j) * 3;
+        }
+        auto a2av = coll.plan_alltoallv(r, counts.data(), sdispls.data(),
+                                        sizeof(std::uint64_t));
+        auto ar = coll.plan_allreduce(r, 4, sizeof(std::uint64_t));
+        std::vector<std::uint64_t> src(static_cast<std::size_t>(p) * 3, 1);
+        std::vector<std::uint64_t> dst(static_cast<std::size_t>(p) * 3, 0);
+        std::uint64_t rs[4] = {1, 2, 3, 4}, rd[4];
+        coll.run_alltoallv(r, *a2av, src.data(), dst.data());
+        coll.run_allreduce(r, *ar, rs, rd,
+                           [](std::uint64_t a, std::uint64_t b) {
+                             return a + b;
+                           });
+        ctx.barrier();
+        const std::size_t live_before = reg.live_count();
+        const OpCounters before = op_counters();
+        for (int round = 0; round < 8; ++round) {
+          coll.run_alltoallv(r, *a2av, src.data(), dst.data());
+          coll.run_allreduce(r, *ar, rs, rd,
+                             [](std::uint64_t a, std::uint64_t b) {
+                               return a + b;
+                             });
+        }
+        const OpCounters delta = op_counters().since(before);
+        EXPECT_EQ(delta.get(Op::pool_grow), 0u)
+            << "steady-state persistent runs must not allocate";
+        ctx.barrier();
+        EXPECT_EQ(reg.live_count(), live_before)
+            << "steady-state persistent runs must not register regions";
+      },
+      tree_opts());
 }
 
 TEST(Collectives, AbortPropagatesOutOfBarrier) {

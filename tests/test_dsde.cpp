@@ -118,6 +118,7 @@ TEST_P(DsdeProtocols, RepeatedExchangesStayConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Protocols, DsdeProtocols,
                          ::testing::Values(DsdeProto::alltoall,
+                                           DsdeProto::alltoall_p2p,
                                            DsdeProto::reduce_scatter,
                                            DsdeProto::nbx, DsdeProto::rma));
 

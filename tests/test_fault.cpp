@@ -643,3 +643,99 @@ TEST(Chaos, HashtableUnderDeferredDeliveryWithFaults) {
       },
       opts);
 }
+
+// --- dead peers inside collectives (PR 7) -------------------------------------
+
+namespace {
+
+/// Loops tree-path collectives until the seeded kill fires. The killed
+/// rank unwinds with RankKilledError (swallowed by errors_return at fleet
+/// scope). A survivor that waits directly on the dead rank detects the
+/// death and raises a typed peer_dead Error; letting it escape the body
+/// aborts the fleet, which rescues ranks blocked on live-but-aborted
+/// writers (they retire with ErrClass::internal from yield_check). The
+/// whole run must terminate with the typed peer_dead as the first error.
+template <class Body>
+void collective_kill_run(int nranks, int kill_rank, std::uint64_t kill_at,
+                         Body&& body) {
+  fabric::FabricOptions opts;
+  opts.domain.nranks = nranks;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.fault.kill_rank = kill_rank;
+  opts.domain.fault.kill_at_op = kill_at;
+  opts.coll.flat_cutoff = 0;  // force the put/notify trees
+  opts.errors_return = true;
+  std::atomic<int> typed_peer_dead{0};
+  std::atomic<bool> completed{false};
+  try {
+    fabric::run_ranks(
+        nranks,
+        [&](RankCtx& ctx) {
+          try {
+            for (int round = 0; round < 1000; ++round) body(ctx, round);
+            completed.store(true);
+          } catch (const RankKilledError&) {
+            throw;  // the killed rank's quiet unwind
+          } catch (const Error& e) {
+            if (e.err_class() == ErrClass::peer_dead) {
+              typed_peer_dead.fetch_add(1);
+            } else {
+              EXPECT_EQ(e.err_class(), ErrClass::internal)
+                  << "rank " << ctx.rank() << ": " << e.what();
+            }
+            throw;  // escape so the fleet aborts instead of hanging peers
+          }
+        },
+        opts);
+    FAIL() << "run_ranks must rethrow the collective abort";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.err_class(), ErrClass::peer_dead) << e.what();
+  }
+  EXPECT_FALSE(completed.load())
+      << "no rank may finish all rounds despite the kill plan";
+  EXPECT_GE(typed_peer_dead.load(), 1)
+      << "at least one survivor must observe the typed peer_dead status";
+}
+
+}  // namespace
+
+TEST(CollectiveFault, DeadRootAbortsBcastWithTypedError) {
+  collective_kill_run(4, /*kill_rank=*/0, /*kill_at=*/37,
+                      [](RankCtx& ctx, int round) {
+                        std::uint64_t v[64] = {};
+                        if (ctx.rank() == 0) v[0] = 1 + round;
+                        ctx.fabric().coll().bcast(ctx.rank(), 0, v, 64);
+                      });
+}
+
+TEST(CollectiveFault, DeadInteriorRankOrphansItsSubtree) {
+  // p = 8, kill rank 4: in the binomial fan-out from root 0, rank 4
+  // forwards to 5, 6 — its subtree is orphaned and the parent side (rank
+  // 0's flag wait in later rounds) also observes the death. Everyone
+  // alive must retire with peer_dead, not hang.
+  collective_kill_run(8, /*kill_rank=*/4, /*kill_at=*/53,
+                      [](RankCtx& ctx, int round) {
+                        std::uint64_t v[64] = {};
+                        if (ctx.rank() == 0) v[0] = 1 + round;
+                        ctx.fabric().coll().bcast(ctx.rank(), 0, v, 64);
+                      });
+}
+
+TEST(CollectiveFault, DeadPeerAbortsAlltoallvWithTypedError) {
+  collective_kill_run(
+      4, /*kill_rank=*/2, /*kill_at=*/61, [](RankCtx& ctx, int round) {
+        const int p = ctx.nranks();
+        std::vector<std::uint64_t> counts(static_cast<std::size_t>(p), 2);
+        std::vector<std::uint64_t> sdispls(static_cast<std::size_t>(p));
+        for (int j = 0; j < p; ++j) {
+          sdispls[static_cast<std::size_t>(j)] =
+              static_cast<std::uint64_t>(j) * 2;
+        }
+        std::vector<std::uint64_t> src(static_cast<std::size_t>(p) * 2,
+                                       static_cast<std::uint64_t>(round));
+        std::vector<std::uint64_t> dst, recvcounts, rdispls;
+        ctx.fabric().coll().alltoallv(ctx.rank(), src.data(), counts.data(),
+                                      sdispls.data(), dst, recvcounts,
+                                      rdispls);
+      });
+}

@@ -130,13 +130,16 @@ TEST_P(FftBackends, MatchesSerialTransform) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, FftBackends,
                          ::testing::Values(FftBackend::p2p,
-                                           FftBackend::rma_overlap));
+                                           FftBackend::rma_overlap,
+                                           FftBackend::alltoallv));
 
 TEST(Fft3d, BackendsProduceIdenticalSpectra) {
   constexpr int nx = 8, ny = 4, nz = 8;
-  std::vector<cplx> freq_p2p, freq_rma;
+  std::vector<std::vector<cplx>> spectra;
   std::mutex mu;
-  for (auto backend : {FftBackend::p2p, FftBackend::rma_overlap}) {
+  for (auto backend : {FftBackend::p2p, FftBackend::rma_overlap,
+                       FftBackend::alltoallv}) {
+    auto& dst = spectra.emplace_back();
     fabric::run_ranks(2, [&](RankCtx& ctx) {
       Fft3d fft(ctx, nx, ny, nz, backend);
       const auto in = random_field(
@@ -145,7 +148,6 @@ TEST(Fft3d, BackendsProduceIdenticalSpectra) {
       fft.forward(ctx, in.data(), freq.data());
       {
         std::scoped_lock lock(mu);
-        auto& dst = backend == FftBackend::p2p ? freq_p2p : freq_rma;
         dst.resize(2 * fft.local_out_elems());
         std::copy(freq.begin(), freq.end(),
                   dst.begin() + static_cast<std::size_t>(ctx.rank()) *
@@ -154,8 +156,29 @@ TEST(Fft3d, BackendsProduceIdenticalSpectra) {
       fft.destroy(ctx);
     });
   }
-  ASSERT_EQ(freq_p2p.size(), freq_rma.size());
-  EXPECT_LT(max_err(freq_p2p, freq_rma), 1e-12);
+  for (std::size_t i = 1; i < spectra.size(); ++i) {
+    ASSERT_EQ(spectra[0].size(), spectra[i].size());
+    EXPECT_LT(max_err(spectra[0], spectra[i]), 1e-12) << "backend " << i;
+  }
+}
+
+TEST(Fft3d, PersistentPlanReusedAcrossTransforms) {
+  // The alltoallv backend plans once in the constructor; repeated
+  // forward/inverse round trips must all run over the same plan.
+  fabric::run_ranks(4, [&](RankCtx& ctx) {
+    Fft3d fft(ctx, /*nx=*/8, /*ny=*/4, /*nz=*/8, FftBackend::alltoallv);
+    for (int round = 0; round < 3; ++round) {
+      const auto in = random_field(
+          fft.local_in_elems(),
+          static_cast<std::uint64_t>(ctx.rank() * 10 + round) + 1);
+      std::vector<cplx> freq(fft.local_out_elems());
+      fft.forward(ctx, in.data(), freq.data());
+      std::vector<cplx> back(fft.local_in_elems());
+      fft.inverse(ctx, freq.data(), back.data());
+      EXPECT_LT(max_err(back, in), 1e-10) << "round " << round;
+    }
+    fft.destroy(ctx);
+  });
 }
 
 TEST(Fft3d, InvalidDecompositionRejected) {

@@ -6,6 +6,7 @@
 
 #include "simtime/des.hpp"
 #include "simtime/sim_apps.hpp"
+#include "simtime/sim_coll.hpp"
 #include "simtime/sim_dsde.hpp"
 #include "simtime/sim_sync.hpp"
 
@@ -213,4 +214,86 @@ TEST(SimMsgRate, ChannelsMonotonicallyRaiseTheBatchedRate) {
       wide.batch / (wide.doorbell_overhead_ns +
                     wide.sw_issue_ns * wide.batch) * 1e3;
   EXPECT_LE(simulate_msgrate_mops(wide), cap * 1.001);
+}
+
+// --- collectives at scale (PR 7) --------------------------------------------
+
+TEST(SimColl, BcastScalesAsLogPUpTo512k) {
+  // Doubling p adds exactly one binomial round: the latency series over
+  // p = 2^k must be affine in k, all the way to 512k processes.
+  CollParams c;
+  c.nbytes = 64;
+  const double step = simulate_coll_us(CollOp::bcast, 4, c) -
+                      simulate_coll_us(CollOp::bcast, 2, c);
+  ASSERT_GT(step, 0.0);
+  for (int k = 2; (1 << k) <= (1 << 19); ++k) {
+    const double got = simulate_coll_us(CollOp::bcast, 1 << k, c);
+    const double prev = simulate_coll_us(CollOp::bcast, 1 << (k - 1), c);
+    EXPECT_NEAR(got - prev, step, 1e-9) << "p=" << (1 << k);
+  }
+  // O(log p), not O(p): 512k ranks costs less than 24x the 4-rank latency.
+  EXPECT_LT(simulate_coll_us(CollOp::bcast, 512 * 1024, c),
+            24.0 * simulate_coll_us(CollOp::bcast, 4, c));
+}
+
+TEST(SimColl, AlltoallvSteadyStateIsLogPUpTo512k) {
+  // The persistent run path pays the leading barrier (log p) plus a fixed
+  // neighbor fan-out — the dense count exchange is plan-time-amortized.
+  CollParams c;
+  c.neighbors = 8;
+  c.nbytes = 256;
+  const double t8 = simulate_coll_us(CollOp::alltoallv, 8, c);
+  const double t512k = simulate_coll_us(CollOp::alltoallv, 512 * 1024, c);
+  ASSERT_GT(t8, 0.0);
+  // 8 -> 512k multiplies p by 64k (16 doublings) but latency only by the
+  // barrier's extra rounds: well under 8x, nowhere near the 65536x a flat
+  // O(p) exchange would cost.
+  EXPECT_LT(t512k, 8.0 * t8);
+  // And it is strictly round-limited: each doubling adds one barrier round.
+  const double step = simulate_coll_us(CollOp::alltoallv, 32, c) -
+                      simulate_coll_us(CollOp::alltoallv, 16, c);
+  EXPECT_NEAR(simulate_coll_us(CollOp::alltoallv, 64, c) -
+                  simulate_coll_us(CollOp::alltoallv, 32, c),
+              step, 1e-9);
+}
+
+TEST(SimColl, BarrierFormCrossChecksAgainstDes) {
+  // The closed-form barrier must agree with the event-driven dissemination
+  // barrier (sim_sync) when fed the same per-round constants.
+  CollParams c;
+  SyncParams sp;
+  sp.msg_latency_us = c.put_base_us;
+  sp.per_msg_overhead_us = c.overhead_us;
+  sp.noise = Noise{};  // deterministic
+  for (int p : {8, 64, 1024, 32768}) {
+    const double closed = simulate_coll_us(CollOp::barrier, p, c);
+    const double des = simulate_dissemination_barrier(p, sp);
+    EXPECT_NEAR(closed, des, 0.20 * des) << "p=" << p;
+  }
+}
+
+TEST(SimColl, HierarchyBeatsFlatTreesAtScale) {
+  // With 32 ranks/node the inter-node tree is log(p/32) deep instead of
+  // log(p): the hierarchical forms must win for every data collective at
+  // Blue Waters scale.
+  CollParams flat;
+  flat.nbytes = 1024;
+  CollParams hier = flat;
+  hier.ranks_per_node = 32;
+  const int p = 512 * 1024;
+  for (CollOp op : {CollOp::bcast, CollOp::allreduce, CollOp::allgather}) {
+    EXPECT_LT(simulate_coll_us(op, p, hier), simulate_coll_us(op, p, flat))
+        << static_cast<int>(op);
+  }
+}
+
+TEST(SimColl, AllgatherBytesStillLinearAtLargeBlocks) {
+  // Bruck rounds are logarithmic but the wire total is (p-1)*nbytes:
+  // at large blocks the byte term must dominate (sanity against an
+  // over-optimistic all-log model).
+  CollParams c;
+  c.nbytes = 1 << 20;
+  const double t256 = simulate_coll_us(CollOp::allgather, 256, c);
+  const double t512 = simulate_coll_us(CollOp::allgather, 512, c);
+  EXPECT_GT(t512, 1.8 * t256);
 }
