@@ -40,16 +40,20 @@ double exchange_us(int p, apps::MilcBackend backend) {
 int main() {
   std::printf("Ablation: halo-exchange schemes (one operator application, "
               "4^4 local lattice) [us]\n\n");
-  std::printf("%-8s%18s%18s%18s\n", "p", "MPI-1 sendrecv", "flag+get (paper)",
-              "notified access");
+  std::printf("%-8s%18s%18s%18s%18s\n", "p", "MPI-1 sendrecv",
+              "flag+get (paper)", "notified access", "put-with-notify");
   for (int p : {2, 4, 8}) {
-    std::printf("%-8d%18.0f%18.0f%18.0f\n", p,
+    std::printf("%-8d%18.0f%18.0f%18.0f%18.0f\n", p,
                 exchange_us(p, apps::MilcBackend::p2p),
                 exchange_us(p, apps::MilcBackend::rma),
-                exchange_us(p, apps::MilcBackend::rma_notified));
+                exchange_us(p, apps::MilcBackend::rma_notified),
+                exchange_us(p, apps::MilcBackend::rma_notify_queue));
   }
   std::printf("\nExpected: notified access saves the consumer-side get+flush "
               "round trips of the\npaper's scheme (producer pushes data and "
-              "flag together) — the foMPI-NA follow-up.\n");
+              "flag together) — the foMPI-NA follow-up.\nput-with-notify "
+              "routes the same exchange through the first-class notification"
+              "\nring (sequenced records, tag matching) instead of "
+              "per-direction flag words.\n");
   return 0;
 }

@@ -3,21 +3,23 @@
 #
 #   scripts/bench_smoke.sh          build Release, run bench_fastpath,
 #                                   bench_datatype, bench_throughput,
-#                                   bench_collectives and two figure
-#                                   benches; the JSON outputs land in
+#                                   bench_collectives, bench_overlap and two
+#                                   figure benches; the JSON outputs land in
 #                                   BENCH_fastpath.json / BENCH_datatype.json /
 #                                   BENCH_throughput.json /
-#                                   BENCH_collectives.json at the repo root,
-#                                   bench_fig6b_fence emits a Perfetto
-#                                   timeline (BENCH_fig6b_fence.trace.json),
-#                                   and scripts/bench_summary.py aggregates
+#                                   BENCH_collectives.json / BENCH_overlap.json
+#                                   at the repo root, bench_fig6b_fence emits
+#                                   a Perfetto timeline
+#                                   (BENCH_fig6b_fence.trace.json), and
+#                                   scripts/bench_summary.py aggregates
 #                                   everything into BENCH_summary.json
 #   scripts/bench_smoke.sh --tsan   additionally build with
 #                                   -DFOMPI_SANITIZE=thread and run the
 #                                   concurrency-heavy tests (test_rdma,
 #                                   test_lock, test_datatype, test_comm,
 #                                   test_accumulate, test_trace, test_batch,
-#                                   test_collectives) under ThreadSanitizer
+#                                   test_collectives, test_progress) under
+#                                   ThreadSanitizer
 #
 # bench_fastpath measures software-only issue overhead (Injection::none);
 # its numbers are NOT comparable to the figure benches, which run under the
@@ -33,6 +35,7 @@ cmake --build build
 ./build/bench/bench_datatype | tee BENCH_datatype.json
 ./build/bench/bench_throughput | tee BENCH_throughput.json
 ./build/bench/bench_collectives | tee BENCH_collectives.json
+./build/bench/bench_overlap | tee BENCH_overlap.json
 ./build/bench/bench_fig4_latency
 ./build/bench/bench_fig6b_fence
 
@@ -42,7 +45,7 @@ if [ "${1:-}" = "--tsan" ]; then
   cmake -B build-tsan -G Ninja -DFOMPI_SANITIZE=thread
   cmake --build build-tsan --target \
     test_rdma test_lock test_datatype test_comm test_accumulate test_trace \
-    test_batch test_collectives
+    test_batch test_collectives test_progress
   ./build-tsan/tests/test_rdma
   ./build-tsan/tests/test_lock
   ./build-tsan/tests/test_datatype
@@ -51,6 +54,7 @@ if [ "${1:-}" = "--tsan" ]; then
   ./build-tsan/tests/test_trace
   ./build-tsan/tests/test_batch
   ./build-tsan/tests/test_collectives
+  ./build-tsan/tests/test_progress
 fi
 
 echo "bench smoke OK"

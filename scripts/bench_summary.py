@@ -21,21 +21,35 @@ import json
 import pathlib
 import sys
 
-HEADLINE_KEYS = ("ns_per_op", "ns_per_elem", "mops_per_s", "us_per_op")
+HEADLINE_KEYS = ("ns_per_op", "ns_per_elem", "mops_per_s", "us_per_op",
+                 "us_per_put")
 FAULT_KEYS = ("fault_injected", "op_retried", "op_failed")
+# Name-less case rows (e.g. bench_throughput's stripe table) are identified
+# by their sweep parameter instead; synthesize "ch4"-style names from it.
+ID_KEYS = (("channels", "ch"), ("fibers", "f"), ("p", "p"))
+
+
+def case_name(node):
+    if "name" in node:
+        return node["name"]
+    for key, abbrev in ID_KEYS:
+        if key in node:
+            return f"{abbrev}{node[key]}"
+    return None
 
 
 def flatten(prefix, node, out):
     """Collects name -> headline metric from any nesting of dicts/lists."""
     if isinstance(node, dict):
-        if "name" in node and any(k in node for k in HEADLINE_KEYS):
+        name = case_name(node)
+        if name is not None and any(k in node for k in HEADLINE_KEYS):
             for key in HEADLINE_KEYS:
                 if key in node:
-                    out[f"{prefix}/{node['name']}"] = node[key]
+                    out[f"{prefix}/{name}"] = node[key]
                     break
             for key in FAULT_KEYS:
                 if key in node:
-                    out[f"{prefix}/{node['name']}/{key}"] = node[key]
+                    out[f"{prefix}/{name}/{key}"] = node[key]
             return
         for key, child in node.items():
             if key == "cases":

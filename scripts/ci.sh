@@ -9,13 +9,16 @@
 #   3. ThreadSanitizer build + the concurrency-heavy tests (datatype
 #      flatten-cache sharing, RDMA issue paths, locks, comm, accumulate,
 #      flight-recorder tracing, doorbell batching/striping, fault
-#      injection/recovery incl. Delivery::deferred under a fault plan,
-#      RMA-native collectives incl. forced trees and persistent plans)
+#      injection/recovery incl. Delivery::deferred under a fault plan and
+#      the suspended-fiber-fleet chaos kill, RMA-native collectives incl.
+#      forced trees and persistent plans, the fiber progress engine +
+#      notify plane)
 #   4. Benchmark smoke run (bench_fastpath + bench_datatype +
-#      bench_throughput + bench_collectives JSON emission and two figure
-#      benches; the throughput bench self-gates >=2x batched speedup and
-#      monotone striping, the collectives bench self-gates log-p DES
-#      shapes, exiting non-zero on violation)
+#      bench_throughput + bench_collectives + bench_overlap JSON emission
+#      and two figure benches; the throughput bench self-gates >=2x batched
+#      speedup and monotone striping, the collectives bench self-gates
+#      log-p DES shapes, the overlap bench self-gates >=4x 64-fiber AMO
+#      pipelining, exiting non-zero on violation)
 #   5. Trace-artifact gate: the Perfetto timeline bench_fig6b_fence emitted
 #      must be valid JSON and must have dropped zero events
 #   6. Fault fast-path gate: arming an (idle) fault plan must not tax the
@@ -23,6 +26,8 @@
 #   7. Batch fast-path gate: an enabled-but-idle throughput config
 #      (channels + adaptive thresholds, no open batch) must not tax the
 #      blocking put8 issue path and must ring no coalesced doorbells
+#   8. Scheduler fast-path gate: a constructed-but-idle fiber scheduler
+#      must not tax the blocking put8 issue path (mirror of gate 7)
 #
 # Runs from any directory; everything lands in build/ and build-tsan/.
 set -eu
@@ -42,7 +47,7 @@ ctest --test-dir build --output-on-failure
 cmake -B build-tsan -G Ninja -DFOMPI_SANITIZE=thread
 cmake --build build-tsan --target \
   test_rdma test_lock test_datatype test_comm test_accumulate test_trace \
-  test_batch test_fault test_collectives
+  test_batch test_fault test_collectives test_progress
 ./build-tsan/tests/test_rdma
 ./build-tsan/tests/test_lock
 ./build-tsan/tests/test_datatype
@@ -52,6 +57,7 @@ cmake --build build-tsan --target \
 ./build-tsan/tests/test_batch
 ./build-tsan/tests/test_fault
 ./build-tsan/tests/test_collectives
+./build-tsan/tests/test_progress
 
 scripts/bench_smoke.sh
 
@@ -115,6 +121,32 @@ until batch_gate; do
   fi
   attempt=$((attempt + 1))
   echo "batch fast-path gate: rerunning bench_fastpath (attempt $attempt)" >&2
+  ./build/bench/bench_fastpath > BENCH_fastpath.json
+done
+
+# Scheduler fast-path gate. A constructed-but-idle fiber Scheduler (no
+# fibers adopted) must leave the blocking put8 issue path within 1.25x of
+# the plain baseline. Same noise handling as the batch gate: regenerate
+# and re-check up to 3 attempts before failing.
+sched_gate() {
+  python3 - <<'EOF'
+import json, sys
+cases = {c["name"]: c for c in json.load(open("BENCH_fastpath.json"))["cases"]}
+base = cases["put8_blocking_immediate"]["ns_per_op"]
+idle = cases["put8_blocking_sched_idle"]
+if idle["ns_per_op"] > 1.25 * base:
+    sys.exit(f"sched-idle put8 {idle['ns_per_op']:.1f} ns/op vs baseline "
+             f"{base:.1f} ns/op: an idle fiber scheduler taxes the fast path")
+EOF
+}
+attempt=1
+until sched_gate; do
+  if [ "$attempt" -ge 3 ]; then
+    echo "scheduler fast-path gate failed on $attempt attempts" >&2
+    exit 1
+  fi
+  attempt=$((attempt + 1))
+  echo "scheduler fast-path gate: rerunning bench_fastpath (attempt $attempt)" >&2
   ./build/bench/bench_fastpath > BENCH_fastpath.json
 done
 

@@ -12,6 +12,11 @@
 //   * p2p  — MPI-1 active messages: the element travels in a message, the
 //     owner's handler performs the local insert, and batch completion uses
 //     the paper's termination protocol (each process notifies all others).
+//   * rma_fiber — the rma backend's algorithm re-expressed as explicit-
+//     handle AMO pipelines on the progress engine: a small pool of fibers
+//     pulls keys off a shared cursor and each parks on its in-flight CAS /
+//     fetch-add instead of spinning, so one rank keeps several inserts in
+//     flight (the rma backend stays as the old-vs-new baseline in Fig 7a).
 #pragma once
 
 #include <cstdint>
@@ -23,7 +28,7 @@
 
 namespace fompi::apps {
 
-enum class HtBackend { rma, pgas, p2p };
+enum class HtBackend { rma, pgas, p2p, rma_fiber };
 
 class DistHashtable {
  public:
@@ -65,6 +70,8 @@ class DistHashtable {
 
   std::size_t slot_of(std::uint64_t key) const;
   void insert_rma(std::uint64_t key);
+  void batch_insert_rma_fiber(const std::vector<std::uint64_t>& keys);
+  struct InsertFiber;  // rma_fiber pipeline (defined in hashtable.cpp)
   void insert_pgas(std::uint64_t key);
   void insert_local(std::uint64_t key);  // owner-side (p2p handler)
   bool chain_contains(int owner, std::size_t slot, std::uint64_t key);

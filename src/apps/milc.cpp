@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/backoff.hpp"
+#include "fabric/progress/progress.hpp"
 
 namespace fompi::apps {
 
@@ -78,6 +79,20 @@ MilcSolver::MilcSolver(fabric::RankCtx& ctx, const MilcConfig& cfg)
       }
     }
     nwin_.emplace(ctx, bytes, /*num_ids=*/8);
+  } else if (cfg_.backend == MilcBackend::rma_notify_queue) {
+    // One receive buffer per direction; the notification travels through
+    // the window's ring, so the window holds no flag words.
+    std::size_t bytes = 0;
+    for (int d = 0; d < 4; ++d) {
+      for (int dir = 0; dir < 2; ++dir) {
+        recv_off_[static_cast<std::size_t>(flag_index(d, dir == 1 ? 1 : -1))] =
+            bytes;
+        bytes += face_elems_[static_cast<std::size_t>(d)] * sizeof(double);
+      }
+    }
+    win_ = core::Win::allocate(ctx, bytes);
+    win_.lock_all();
+    win_.notify_enable(ctx, /*capacity=*/64);
   }
   // All backends share the persistent dot-product allreduce (1 double).
   dot_plan_ = ctx.fabric().coll().plan_allreduce(rank_, 1, sizeof(double));
@@ -87,7 +102,8 @@ MilcSolver::MilcSolver(fabric::RankCtx& ctx, const MilcConfig& cfg)
 void MilcSolver::destroy(fabric::RankCtx& ctx) {
   ctx.barrier();
   dot_plan_.reset();  // after the barrier: no rank is still inside a dot()
-  if (cfg_.backend == MilcBackend::rma) {
+  if (cfg_.backend == MilcBackend::rma ||
+      cfg_.backend == MilcBackend::rma_notify_queue) {
     win_.unlock_all();
     win_.free();
   } else if (cfg_.backend == MilcBackend::rma_notified) {
@@ -231,6 +247,41 @@ void MilcSolver::exchange_halos(fabric::RankCtx& ctx,
       for (int dir : {-1, +1}) {
         const int i = flag_index(d, dir);
         nwin_->wait_notify(i);
+        unpack_face(halo_field, d, dir,
+                    reinterpret_cast<const double*>(
+                        rbase + recv_off_[static_cast<std::size_t>(i)]));
+      }
+    }
+    ctx.barrier();  // buffer reuse across epochs
+    return;
+  }
+
+  if (cfg_.backend == MilcBackend::rma_notify_queue) {
+    // First-class put-with-notification: each face is one put_notify whose
+    // record (tagged with the receiving side) lands in the neighbor's
+    // notification ring; the consumer tag-matches one record per direction
+    // in halo order. No flag words, no counter AMOs.
+    std::vector<double> pack;
+    for (int d = 0; d < 4; ++d) {
+      for (int dir : {-1, +1}) {
+        const std::size_t n = face_elems_[static_cast<std::size_t>(d)];
+        pack.resize(n);
+        pack_face(halo_field, d, dir, pack.data());
+        const int recv_i = flag_index(d, -dir);
+        const rdma::OpStatus st = win_.put_notify(
+            pack.data(), n * sizeof(double), neighbor(d, dir),
+            recv_off_[static_cast<std::size_t>(recv_i)],
+            static_cast<std::uint64_t>(recv_i));
+        FOMPI_REQUIRE(st == rdma::OpStatus::ok, ErrClass::peer_dead,
+                      "milc: halo put_notify failed");
+      }
+    }
+    const auto* rbase = static_cast<const std::byte*>(win_.base());
+    fabric::progress::NotifyRecord rec;
+    for (int d = 0; d < 4; ++d) {
+      for (int dir : {-1, +1}) {
+        const int i = flag_index(d, dir);
+        win_.notify_waitsome(static_cast<std::uint64_t>(i), &rec, 1);
         unpack_face(halo_field, d, dir,
                     reinterpret_cast<const double*>(
                         rbase + recv_off_[static_cast<std::size_t>(i)]));

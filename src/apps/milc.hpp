@@ -35,6 +35,10 @@ enum class MilcBackend {
   rma,           ///< the paper's pack/flush/flag/get scheme
   rma_notified,  ///< notified access extension: put_notify carries the
                  ///< halo and its flag in one call (half the critical path)
+  rma_notify_queue,  ///< first-class put-with-notification: the halo rides
+                     ///< Win::put_notify into the generalized notification
+                     ///< ring and the consumer tag-matches one record per
+                     ///< direction (no per-direction flag words at all)
 };
 
 struct MilcConfig {

@@ -30,6 +30,11 @@ const char* to_string(Op op) noexcept {
     case Op::batched_op:       return "batched_op";
     case Op::channel_stripe:   return "channel_stripe";
     case Op::adapt_retune:     return "adapt_retune";
+    case Op::fiber_spawn:      return "fiber_spawn";
+    case Op::fiber_switch:     return "fiber_switch";
+    case Op::notify_posted:    return "notify_posted";
+    case Op::notify_consumed:  return "notify_consumed";
+    case Op::notify_retry:     return "notify_retry";
     case Op::kCount:           break;
   }
   return "unknown";

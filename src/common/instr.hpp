@@ -39,6 +39,11 @@ enum class Op : std::uint32_t {
   batched_op,        ///< one op enqueued behind a coalesced doorbell
   channel_stripe,    ///< one BTE transfer striped across NIC channels
   adapt_retune,      ///< adaptive tuner moved a protocol threshold
+  fiber_spawn,       ///< one fiber adopted by a progress-engine scheduler
+  fiber_switch,      ///< one fiber resume (continuation-frame re-entry)
+  notify_posted,     ///< one put-with-notification record committed
+  notify_consumed,   ///< one notify record drained out of the ring
+  notify_retry,      ///< one overflow-to-retry pass on a full notify ring
   kCount,
 };
 

@@ -290,6 +290,55 @@ void Win::fetch_and_op(const void* origin, void* result, Elem e, RedOp op,
   get_accumulate(origin, result, 1, e, op, target, tdisp);
 }
 
+RmaRequest Win::rfetch_and_op(const void* origin, void* result, Elem e,
+                              RedOp op, int target, std::size_t tdisp) {
+  require_access(target);
+  FOMPI_REQUIRE(result != nullptr, ErrClass::arg,
+                "rfetch_and_op needs a result buffer");
+  RmaRequest req;
+  req.nic_ = &nic();
+  if (amo_accelerated(e, op) || (op == RedOp::no_op && elem_size(e) == 8)) {
+    rdma::RegionDesc desc;
+    std::size_t off = 0;
+    resolve_target(target, tdisp, 8, &desc, &off);
+    std::uint64_t v = 0;
+    if (op != RedOp::no_op) std::memcpy(&v, origin, 8);
+    req.handles_.push_back(req.nic_->amo_nb(
+        target, desc, off,
+        op == RedOp::no_op ? rdma::AmoOp::read : amo_opcode(op), v, 0,
+        static_cast<std::uint64_t*>(result)));
+    return req;
+  }
+  // Fallback ops complete eagerly; the request is immediately done.
+  accumulate_fallback(origin, result, 1, e, op, target, tdisp);
+  return req;
+}
+
+RmaRequest Win::rcompare_and_swap(const void* origin, const void* compare,
+                                  void* result, Elem e, int target,
+                                  std::size_t tdisp) {
+  require_access(target);
+  FOMPI_REQUIRE(e != Elem::f32 && e != Elem::f64, ErrClass::type,
+                "rcompare_and_swap requires an integer type");
+  RmaRequest req;
+  req.nic_ = &nic();
+  if (elem_size(e) == 8) {
+    rdma::RegionDesc desc;
+    std::size_t off = 0;
+    resolve_target(target, tdisp, 8, &desc, &off);
+    std::uint64_t o, c;
+    std::memcpy(&o, origin, 8);
+    std::memcpy(&c, compare, 8);
+    req.handles_.push_back(
+        req.nic_->amo_nb(target, desc, off, rdma::AmoOp::cas, o, c,
+                         static_cast<std::uint64_t*>(result)));
+    return req;
+  }
+  // 4-byte CAS runs the lock-based fallback eagerly; already done.
+  compare_and_swap(origin, compare, result, e, target, tdisp);
+  return req;
+}
+
 void Win::compare_and_swap(const void* origin, const void* compare,
                            void* result, Elem e, int target,
                            std::size_t tdisp) {

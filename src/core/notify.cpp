@@ -1,13 +1,65 @@
 #include "core/notify.hpp"
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 
 #include "common/backoff.hpp"
 #include "core/win_internal.hpp"
+#include "fabric/progress/progress.hpp"
 #include "trace/trace.hpp"
 
 namespace fompi::core {
+
+// ---------------------------------------------------------------------------
+// Win notified access: veneer over fabric::progress::NotifyPlane.
+// ---------------------------------------------------------------------------
+
+void Win::notify_enable(fabric::RankCtx& ctx, std::size_t capacity) {
+  Shared& s = sh();
+  {
+    std::lock_guard<std::mutex> g(s.notify_mu);
+    if (s.notify == nullptr) {
+      s.notify = std::make_shared<fabric::progress::NotifyPlane>(*s.fabric,
+                                                                 capacity);
+    }
+  }
+  s.notify->attach(rank_);
+  ctx.barrier();  // every ring registered before anyone posts
+}
+
+rdma::OpStatus Win::put_notify(const void* origin, std::size_t len, int target,
+                               std::size_t tdisp, std::uint64_t tag) {
+  Shared& s = sh();
+  FOMPI_REQUIRE(s.notify != nullptr, ErrClass::op,
+                "put_notify: call notify_enable first");
+  put(origin, len, target, tdisp);
+  // Remote completion of the payload must precede the notification record:
+  // RDMA gives no ordering between a put and the record's stamp, and the
+  // stamp is the consumer's readiness signal for the payload.
+  const rdma::OpStatus st = flush_checked(target);
+  if (st != rdma::OpStatus::ok) return st;
+  return s.notify->post(rank_, target, tag, tdisp, len);
+}
+
+bool Win::notify_probe(std::uint64_t tag, fabric::progress::NotifyRecord* out) {
+  Shared& s = sh();
+  FOMPI_REQUIRE(s.notify != nullptr, ErrClass::op,
+                "notify_probe: call notify_enable first");
+  return s.notify->probe(rank_, tag, out);
+}
+
+std::size_t Win::notify_waitsome(std::uint64_t tag,
+                                 fabric::progress::NotifyRecord* out,
+                                 std::size_t max, int source,
+                                 rdma::OpStatus* status) {
+  Shared& s = sh();
+  FOMPI_REQUIRE(s.notify != nullptr, ErrClass::op,
+                "notify_waitsome: call notify_enable first");
+  return s.notify->waitsome(rank_, tag, out, max, source, status);
+}
+
+fabric::progress::NotifyPlane* Win::notify_plane() { return sh().notify.get(); }
 
 NotifyWin::NotifyWin(fabric::RankCtx& ctx, std::size_t bytes, int num_ids,
                      WinConfig cfg)
@@ -81,9 +133,15 @@ void NotifyWin::wait_notify(int id, std::uint64_t count) {
       static_cast<std::byte*>(win_.base()) + notify_off(id));
   std::atomic_ref<std::uint64_t> counter(*word);
   Backoff backoff;
-  while (counter.load(std::memory_order_acquire) < count) {
+  std::uint64_t seen = counter.load(std::memory_order_acquire);
+  while (seen < count) {
     win_.yield_check();
     backoff.pause();
+    const std::uint64_t now = counter.load(std::memory_order_acquire);
+    // Partial progress (some notifications landed) resets the back-off so a
+    // trickle of producers keeps the consumer responsive.
+    if (now != seen) backoff.reset();
+    seen = now;
   }
   counter.fetch_sub(count, std::memory_order_acq_rel);
   win_.sync();  // notified data readable after the fence

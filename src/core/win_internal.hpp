@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 
 #include "common/buffer.hpp"
@@ -86,6 +88,12 @@ struct Win::Shared {
   int alloc_attempts = 0;
 
   bool freed = false;
+
+  // Notified access (Win::notify_enable): one plane shared by every rank
+  // handle of this window. notify_mu guards lazy construction only — never
+  // hold it across a barrier (CLAUDE.md).
+  std::mutex notify_mu;
+  std::shared_ptr<fabric::progress::NotifyPlane> notify;
 
   std::atomic_ref<std::uint64_t> ctrl_word(int rank, std::size_t off) {
     auto* p = reinterpret_cast<std::uint64_t*>(

@@ -213,6 +213,7 @@ void Win::free() {
   if (rank_ == 0) {
     for (auto& d : s.ctrl_desc) registry.deregister(d.rkey);
     s.ctrl_desc.clear();
+    s.notify.reset();  // notify rings deregister while the registry is live
     s.freed = true;
   }
   coll.barrier(rank_);

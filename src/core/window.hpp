@@ -36,6 +36,11 @@
 #include "fabric/fabric.hpp"
 #include "fabric/group.hpp"
 
+namespace fompi::fabric::progress {
+class NotifyPlane;
+struct NotifyRecord;
+}  // namespace fompi::fabric::progress
+
 namespace fompi::core {
 
 /// Passive-target lock type (MPI_LOCK_SHARED / MPI_LOCK_EXCLUSIVE).
@@ -83,6 +88,20 @@ class RmaRequest {
   bool test();
   /// Blocks until all fragments completed.
   void wait();
+
+  // --- progress-engine hooks ----------------------------------------------
+  /// Fragment handles, exposed so a fiber can park on them (await) instead
+  /// of spin-testing. Empty for requests that completed eagerly.
+  const std::vector<rdma::Handle>& handles() const noexcept {
+    return handles_;
+  }
+  rdma::Nic* nic() const noexcept { return nic_; }
+  /// Releases the request without waiting: the caller retired every handle
+  /// itself (e.g. through Scheduler::await_handle).
+  void dismiss() noexcept {
+    nic_ = nullptr;
+    handles_.clear();
+  }
 
  private:
   friend class Win;
@@ -226,6 +245,43 @@ class Win {
   /// target value.
   void compare_and_swap(const void* origin, const void* compare, void* result,
                         Elem e, int target, std::size_t tdisp);
+  /// Request-based single-element fetch-and-op: accelerated ops issue one
+  /// explicit-handle AMO whose fetch result lands in `result` at completion
+  /// (keep it alive until the request retires); fallback ops complete before
+  /// returning.
+  RmaRequest rfetch_and_op(const void* origin, void* result, Elem e, RedOp op,
+                           int target, std::size_t tdisp);
+  /// Request-based compare-and-swap; 8-byte types map to one explicit AMO,
+  /// 4-byte types run the lock-based fallback eagerly.
+  RmaRequest rcompare_and_swap(const void* origin, const void* compare,
+                               void* result, Elem e, int target,
+                               std::size_t tdisp);
+
+  // --- notified access (put-with-notification) --------------------------------
+  /// Collective. Arms this window for put_notify by allocating a per-rank
+  /// notification ring of `capacity` records (first caller's capacity wins;
+  /// call with matching values). Idempotent.
+  void notify_enable(fabric::RankCtx& ctx, std::size_t capacity = 256);
+  /// Contiguous put plus a sequenced notification record {tag, tdisp, len,
+  /// source} delivered into the target's notification ring after the payload
+  /// is remotely complete. Returns the first failure observed (ring-full
+  /// overflow retries internally; a dead target retires as peer_dead).
+  rdma::OpStatus put_notify(const void* origin, std::size_t len, int target,
+                            std::size_t tdisp, std::uint64_t tag);
+  /// Nonblocking: consumes and returns the oldest local record matching
+  /// `tag` (kAnyNotifyTag matches all). False if none is pending.
+  bool notify_probe(std::uint64_t tag, fabric::progress::NotifyRecord* out);
+  /// Blocks (politely, via yield_check) until at least one matching record
+  /// arrived; consumes up to `max` of them. `source` = -1 matches any
+  /// origin. If every candidate source died first: with `status` non-null
+  /// stores peer_dead and returns 0, else raises.
+  std::size_t notify_waitsome(std::uint64_t tag,
+                              fabric::progress::NotifyRecord* out,
+                              std::size_t max, int source = -1,
+                              rdma::OpStatus* status = nullptr);
+  /// The underlying plane (null before notify_enable); fibers park on it
+  /// through Scheduler::await_notify.
+  fabric::progress::NotifyPlane* notify_plane();
 
   // --- diagnostics ---------------------------------------------------------------
   /// Number of proposal rounds the symmetric heap needed (allocated

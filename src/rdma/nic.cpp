@@ -687,7 +687,8 @@ Handle Nic::issue(int target, const RegionDesc& rd, std::size_t offset,
     model_lat = static_cast<std::uint64_t>(latency_ns * scale * fault_scale);
     if (!batched) {
       const std::uint64_t issue_start = now_ns();
-      spin_for_ns(static_cast<std::uint64_t>(overhead_ns * scale));
+      spin_until_ns(issue_start +
+                    static_cast<std::uint64_t>(overhead_ns * scale));
       complete_at = issue_start + model_lat;
       latest_complete_at_ = std::max(latest_complete_at_, complete_at);
     }
@@ -839,7 +840,8 @@ Handle Nic::issue_vec(int target, const RegionDesc& rd, std::size_t base_off,
     }
     const double scale = cfg.time_scale;
     const std::uint64_t issue_start = now_ns();
-    spin_for_ns(static_cast<std::uint64_t>(overhead_ns * scale));
+    spin_until_ns(issue_start +
+                  static_cast<std::uint64_t>(overhead_ns * scale));
     model_lat = static_cast<std::uint64_t>(latency_ns * scale * fault_scale);
     complete_at = issue_start + model_lat;
     latest_complete_at_ = std::max(latest_complete_at_, complete_at);
@@ -1107,6 +1109,16 @@ OpStatus Nic::wait_status(Handle h) {
   trace_retire(s->op);
   release_slot(static_cast<std::uint32_t>(h));
   return OpStatus::ok;
+}
+
+std::uint64_t Nic::completion_deadline(Handle h) {
+  if (h == kDoneHandle) return 0;
+  Slot* s = lookup(h);
+  if (s == nullptr) return 0;  // stale: wait_status retires it immediately
+  if (s->op.batch_pending) batch_flush();
+  if (s->op.status != OpStatus::ok) return 0;  // typed failure, ready now
+  if (domain_.config().inject != Injection::model) return 0;
+  return s->op.complete_at;
 }
 
 void Nic::gsync() {

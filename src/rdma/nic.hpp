@@ -150,6 +150,21 @@ class Nic {
   /// through gsync) preserves MPI RMA completion semantics under batching.
   OpStatus gsync_status();
 
+  // --- progress-engine hooks (completion -> fiber wakeup) --------------------
+  /// Absolute modeled completion time (ns) of an explicit handle, for
+  /// suspend-on-wait waiters: a parked fiber sleeps until this deadline
+  /// instead of spinning in wait_status. Flushes a pending batch first (an
+  /// op cannot complete behind an unrung doorbell). Returns 0 when the
+  /// handle can retire right now — already complete, failed at issue,
+  /// stale, or running under Injection::none.
+  std::uint64_t completion_deadline(Handle h);
+  /// Modeled completion time of everything issued so far (what gsync's
+  /// bulk wait targets); 0 under Injection::none. An epoch waiter parks on
+  /// this and re-arms if more traffic extended it.
+  std::uint64_t quiesce_deadline() const noexcept {
+    return latest_complete_at_;
+  }
+
   // --- throughput mode: doorbell batching ------------------------------------
   /// Opens an explicit batch scope: subsequent batchable ops (FMA-sized,
   /// i.e. below the batch cutoff) accumulate into one chained descriptor

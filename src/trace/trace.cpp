@@ -30,6 +30,8 @@ const char* to_string(EvClass cls) noexcept {
     case EvClass::batch:         return "batch";
     case EvClass::channel:       return "channel";
     case EvClass::adapt:         return "adapt";
+    case EvClass::fiber:         return "fiber";
+    case EvClass::notify_post:   return "notify_post";
     case EvClass::kCount:        break;
   }
   return "unknown";

@@ -69,6 +69,8 @@ enum class EvClass : std::uint8_t {
   batch,          ///< coalesced doorbell rung (arg = chained descriptors)
   channel,        ///< BTE transfer striped across channels (arg = channels)
   adapt,          ///< adaptive tuner moved a threshold (arg = new value)
+  fiber,          ///< fiber resumed (begin) / finished (complete); arg = id
+  notify_post,    ///< put-with-notification record posted (arg = tag/seq)
   kCount,
 };
 

@@ -17,6 +17,7 @@
 #include "core/mcs_lock.hpp"
 #include "core/window.hpp"
 #include "fabric/fabric.hpp"
+#include "fabric/progress/progress.hpp"
 #include "rdma/network_model.hpp"
 #include "rdma/nic.hpp"
 
@@ -738,4 +739,128 @@ TEST(CollectiveFault, DeadPeerAbortsAlltoallvWithTypedError) {
                                       sdispls.data(), dst, recvcounts,
                                       rdispls);
       });
+}
+
+// --- progress-engine chaos: peer death under a suspended fiber fleet ----------
+
+namespace {
+
+/// Loops request-based fetch-and-ops at rank 1, parking on each handle,
+/// until one retires with a typed failure.
+class ChaosAmoFiber final : public fabric::progress::Fiber {
+ public:
+  ChaosAmoFiber(Win& win, int idx) : win_(win), idx_(idx) {}
+  OpStatus final_status = OpStatus::ok;
+  int completed = 0;
+
+ protected:
+  void step(fabric::progress::Scheduler& s) override {
+    static constexpr std::uint64_t kOne = 1;
+    FOMPI_FIBER_BEGIN();
+    for (;;) {
+      req_ = win_.rfetch_and_op(&kOne, &fetched_, Elem::u64, RedOp::sum, 1,
+                                static_cast<std::size_t>(idx_ % 8) * 8);
+      if (req_.handles().empty()) {
+        // Eager retirement (issue path observed the death first).
+        req_.dismiss();
+        final_status = win_.last_error();
+        break;
+      }
+      FOMPI_FIBER_AWAIT(s, req_.handles()[0]);
+      req_.dismiss();
+      final_status = wake_status();
+      if (final_status != OpStatus::ok) break;
+      ++completed;
+    }
+    FOMPI_FIBER_END();
+  }
+
+ private:
+  Win& win_;
+  int idx_;
+  core::RmaRequest req_;
+  alignas(8) std::uint64_t fetched_ = 0;
+};
+
+/// Parks on a notify tag that is never posted; only the typed death of
+/// the awaited source can wake it.
+class ChaosNotifyFiber final : public fabric::progress::Fiber {
+ public:
+  ChaosNotifyFiber(fabric::progress::NotifyPlane& plane, std::uint64_t tag)
+      : plane_(plane), tag_(tag) {}
+  OpStatus final_status = OpStatus::ok;
+
+ protected:
+  void step(fabric::progress::Scheduler& s) override {
+    FOMPI_FIBER_BEGIN();
+    FOMPI_FIBER_AWAIT_NOTIFY(s, plane_, tag_, /*source=*/1);
+    final_status = wake_status();
+    FOMPI_FIBER_END();
+  }
+
+ private:
+  fabric::progress::NotifyPlane& plane_;
+  std::uint64_t tag_;
+};
+
+}  // namespace
+
+TEST(FaultChaos, SuspendedFiberFleetUnwindsTypedOnPeerDeath) {
+  // >= 32 fibers suspended mid-pipeline when the peer dies: 16 parked on
+  // in-flight AMO completions, 16 on notify tags that will never arrive.
+  // All of them must resume with the typed peer_dead (no hang), run()
+  // must return, and no completion slot may leak.
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    fabric::FabricOptions opts;
+    opts.domain.nranks = 2;
+    opts.domain.ranks_per_node = 1;
+    opts.domain.inject = Injection::model;  // real in-flight windows
+    opts.domain.fault.seed = seed;
+    opts.domain.fault.kill_rank = 1;
+    // Past window setup + notify_enable; varies the death point per seed.
+    opts.domain.fault.kill_at_op = 120 + 7 * seed;
+    opts.errors_return = true;
+    std::atomic<int> typed{0};
+    std::atomic<std::size_t> leaked{1};
+    fabric::run_ranks(
+        2,
+        [&](RankCtx& ctx) {
+          WinConfig wcfg;
+          wcfg.err_mode = core::ErrMode::errors_return;
+          Win win = Win::allocate(ctx, 4096, wcfg);
+          win.lock_all();
+          win.notify_enable(ctx, 64);
+          if (ctx.rank() == 1) {
+            alignas(8) std::uint64_t v = 1;
+            (void)win.put_notify(&v, 8, 0, 0, /*tag=*/5);
+            for (int i = 0; i < 100000; ++i) {
+              win.put(&v, 8, 0, 0);
+              win.flush(0);
+            }
+            FAIL() << "rank 1 must have been killed";
+          }
+          fabric::progress::Scheduler sched(ctx.fabric(), ctx.rank());
+          std::vector<ChaosAmoFiber*> amos;
+          std::vector<ChaosNotifyFiber*> waits;
+          for (int i = 0; i < 16; ++i) {
+            amos.push_back(&sched.spawn<ChaosAmoFiber>(win, i));
+          }
+          for (int i = 0; i < 16; ++i) {
+            waits.push_back(&sched.spawn<ChaosNotifyFiber>(
+                *win.notify_plane(), 1000u + static_cast<std::uint64_t>(i)));
+          }
+          sched.run();  // returning at all means nothing hung
+          for (const auto* f : amos) {
+            if (f->final_status == OpStatus::peer_dead) ++typed;
+          }
+          for (const auto* f : waits) {
+            if (f->final_status == OpStatus::peer_dead) ++typed;
+          }
+          leaked = sched.nic().explicit_outstanding();
+          // No unlock_all()/free(): collective with a dead rank.
+        },
+        opts);
+    EXPECT_EQ(typed.load(), 32) << "seed " << seed;
+    EXPECT_EQ(leaked.load(), 0u) << "seed " << seed;
+  }
 }

@@ -8,6 +8,7 @@
 #include "simtime/sim_apps.hpp"
 #include "simtime/sim_coll.hpp"
 #include "simtime/sim_dsde.hpp"
+#include "simtime/sim_overlap.hpp"
 #include "simtime/sim_sync.hpp"
 
 using namespace fompi;
@@ -285,6 +286,54 @@ TEST(SimColl, HierarchyBeatsFlatTreesAtScale) {
     EXPECT_LT(simulate_coll_us(op, p, hier), simulate_coll_us(op, p, flat))
         << static_cast<int>(op);
   }
+}
+
+// --- fiber overlap model (PR 8) ----------------------------------------------
+
+TEST(SimOverlap, RateMonotoneUpToSaturationThenFlat) {
+  const OverlapModel m = overlap_model_amo8();
+  double prev = 0.0;
+  for (int f : {1, 2, 4, 8, 16, 32, 64}) {
+    const double rate = m.rate_mops(f);
+    EXPECT_GE(rate, prev) << "fibers=" << f;
+    prev = rate;
+  }
+  // Past saturation the issue path is the bottleneck: 512 fibers buy
+  // nothing over 64 (F* = (o+s+L)/(o+s) is well below 64 for every op).
+  EXPECT_LT(m.saturation_fibers(), 64.0);
+  EXPECT_DOUBLE_EQ(m.rate_mops(512), m.rate_mops(64));
+  // The saturated rate is exactly the pure issue rate.
+  EXPECT_NEAR(m.rate_mops(512), 1e3 / (m.overhead_ns + m.software_ns), 1e-9);
+}
+
+TEST(SimOverlap, AmoPipelineClearsTheBenchGate) {
+  // bench_overlap's acceptance gate: >= 4x modeled message rate at 64
+  // fibers vs 1 for the amo workload. The closed form must predict it
+  // with margin, or the measured gate is hanging on noise.
+  const OverlapModel m = overlap_model_amo8();
+  EXPECT_GE(m.speedup(64), 4.0 * 1.2);
+}
+
+TEST(SimOverlap, SpeedupOrderedByLatency) {
+  // Overlap hides latency, so the op with more latency to hide gains
+  // more: put8 (~1 us) < get8 (~1.9 us) < amo (2.4 us round trip).
+  const double put = overlap_model_put8().speedup(64);
+  const double get = overlap_model_get8().speedup(64);
+  const double amo = overlap_model_amo8().speedup(64);
+  EXPECT_LT(put, get);
+  EXPECT_LT(get, amo);
+  // One fiber is the blocking baseline by construction.
+  EXPECT_DOUBLE_EQ(overlap_model_put8().speedup(1), 1.0);
+}
+
+TEST(SimOverlap, LatencyBoundRegionScalesLinearly) {
+  // Below saturation, doubling the fiber count halves ns/op exactly.
+  const OverlapModel m = overlap_model_amo8();
+  EXPECT_NEAR(m.ns_per_op(2), m.ns_per_op(1) / 2.0, 1e-9);
+  EXPECT_NEAR(m.ns_per_op(4), m.ns_per_op(1) / 4.0, 1e-9);
+  // And the factories charge the runtime's injected constants.
+  EXPECT_DOUBLE_EQ(m.latency_ns, 2400.0);
+  EXPECT_DOUBLE_EQ(m.overhead_ns, 416.0);
 }
 
 TEST(SimColl, AllgatherBytesStillLinearAtLargeBlocks) {
