@@ -1,0 +1,294 @@
+// KV service SLO harness: closed-loop Zipfian fleets against the sharded
+// store (src/kv) under the injected Gemini cost model.
+//
+// Three sections, two with built-in acceptance gates (exit 1):
+//
+//   1. SLO table (informational): p in {2, 4} client ranks x read_ratio in
+//      {0.95, 0.5}; each rank runs a closed-loop fleet (8 fibers, Zipf 0.9
+//      keys) and the per-op-class latency histograms are merged across
+//      ranks. Under Injection::model wall time tracks the charged Gemini
+//      costs, so the p50/p99 columns are MODELED latencies (see CLAUDE.md);
+//      the sim_kv closed forms are printed beside them.
+//   2. Cache leverage (gated): the epoch-validated cache hit is one remote
+//      AMO against the versioned read's six, so the warm-cache modeled get
+//      rate must be >= 2x the uncached rate. Three attempts: thread-rank
+//      wall smear can spoil one, three misses mean the cache really does
+//      not short-circuit.
+//   3. Failover SLO degradation (gated): phase A reads rank-1-owned keys
+//      healthy (warm cache), then the seeded fault plan kills rank 1 and
+//      phase B re-reads the same keys degraded (replica serving, cache
+//      bypassed). Gates: the run completes (no hang), the dead owner
+//      probes as typed peer_dead, both phase p99s are finite, and
+//      p99(degraded) >= p99(healthy) — the SLO monotonically degrades.
+//
+// Output: one JSON object on stdout (consumed by scripts/bench_smoke.sh
+// as BENCH_kv.json).
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/timing.hpp"
+#include "kv/kv.hpp"
+#include "simtime/sim_kv.hpp"
+#include "trace/trace.hpp"
+
+using namespace fompi;
+using namespace fompi::bench;
+using fabric::RankCtx;
+using kv::KvConfig;
+using kv::KvStore;
+using rdma::OpStatus;
+
+namespace {
+
+constexpr int kFleetOpsPerRank = 384;
+constexpr std::uint64_t kKeyspace = 256;
+
+struct SloRow {
+  int ranks = 0;
+  double read_ratio = 0;
+  bool degraded = false;
+  double read_p50_us = 0, read_p99_us = 0;
+  double write_p50_us = 0, write_p99_us = 0;
+  std::uint64_t reads = 0, writes = 0, cache_hits = 0;
+};
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+/// One fleet configuration: every rank seeds its share, then runs the
+/// closed loop; histograms merged over ranks.
+SloRow fleet_row(int p, double read_ratio) {
+  SloRow rowv;
+  rowv.ranks = p;
+  rowv.read_ratio = read_ratio;
+  trace::LatencyHisto reads, writes;
+  std::mutex mu;
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    KvStore store(ctx);
+    if (ctx.rank() == 0) {  // seed so reads mostly hit
+      for (std::uint64_t k = 1; k <= kKeyspace; ++k) store.put(k, k * 3);
+    }
+    ctx.barrier();
+    KvStore::FleetConfig fc;
+    fc.ops_per_rank = kFleetOpsPerRank;
+    fc.read_ratio = read_ratio;
+    fc.keyspace = kKeyspace;
+    fc.seed = 7;
+    const auto res = store.run_fleet(ctx, fc);
+    {
+      std::scoped_lock lock(mu);
+      reads.merge(res.read_hist);
+      writes.merge(res.write_hist);
+      rowv.reads += res.reads;
+      rowv.writes += res.writes;
+      rowv.cache_hits += res.cache_hits;
+    }
+    ctx.barrier();
+    store.destroy(ctx);
+  }, internode_model());
+  rowv.read_p50_us = us(reads.quantile(0.5));
+  rowv.read_p99_us = us(reads.quantile(0.99));
+  rowv.write_p50_us = us(writes.quantile(0.5));
+  rowv.write_p99_us = us(writes.quantile(0.99));
+  return rowv;
+}
+
+struct CacheResult {
+  double cached_mops = 0;
+  double uncached_mops = 0;
+};
+
+/// Modeled get rate of one client hammering one hot key, with and without
+/// the epoch-stamped cache (single active rank: nobody bumps the epoch).
+CacheResult cache_rates() {
+  CacheResult res;
+  for (const bool cached : {true, false}) {
+    KvConfig cfg;
+    cfg.client_cache = cached;
+    double rate = 0;
+    fabric::run_ranks(2, [&](RankCtx& ctx) {
+      KvStore store(ctx, cfg);
+      if (ctx.rank() == 0) {
+        store.put(99, 1);
+        std::uint64_t v = 0;
+        bool found = false;
+        store.get(99, &v, &found);  // warm the cache (cold miss)
+        constexpr int kGets = 256;
+        Timer t;
+        for (int i = 0; i < kGets; ++i) store.get(99, &v, &found);
+        rate = static_cast<double>(kGets) / t.elapsed_us();
+      }
+      ctx.barrier();
+      store.destroy(ctx);
+    }, internode_model());
+    (cached ? res.cached_mops : res.uncached_mops) = rate;
+  }
+  return res;
+}
+
+struct FailoverResult {
+  double healthy_p50_us = 0, healthy_p99_us = 0;
+  double degraded_p50_us = 0, degraded_p99_us = 0;
+  bool typed_peer_dead = false;
+  std::uint64_t failovers = 0;
+};
+
+/// Phase A: healthy warm-cache reads of rank-1-owned keys. Kill rank 1.
+/// Phase B: the same reads served degraded by the replica.
+FailoverResult failover_slo() {
+  constexpr int kRanks = 4;
+  constexpr int kReadsPerKey = 32;
+  fabric::FabricOptions opts = internode_model();
+  opts.domain.fault.kill_rank = 1;
+  opts.domain.fault.kill_at_op = 400;
+  opts.errors_return = true;
+  FailoverResult res;
+  fabric::run_ranks(kRanks, [&](RankCtx& ctx) {
+    KvStore store(ctx);
+    // Keys owned by the doomed rank (pure hash function, same on all
+    // ranks).
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 1; keys.size() < 6; ++k) {
+      if (store.owner_of(store.shard_of(k)) == 1) keys.push_back(k);
+    }
+    if (ctx.rank() == 0) {
+      for (const auto k : keys) store.put(k, k + 1);
+    }
+    ctx.barrier();
+
+    if (ctx.rank() == 0) {
+      trace::LatencyHisto healthy;
+      std::uint64_t v = 0;
+      bool found = false;
+      for (const auto k : keys) store.get(k, &v, &found);  // warm cache
+      for (int r = 0; r < kReadsPerKey; ++r) {
+        for (const auto k : keys) {
+          Timer t;
+          store.get(k, &v, &found);
+          healthy.add(t.elapsed_ns());
+        }
+      }
+      res.healthy_p50_us = us(healthy.quantile(0.5));
+      res.healthy_p99_us = us(healthy.quantile(0.99));
+      int done = 1;
+      ctx.send(1, /*tag=*/3, &done, sizeof done);  // release the doomed rank
+    }
+    if (ctx.rank() == 1) {
+      int done = 0;
+      ctx.recv(0, /*tag=*/3, &done, sizeof done);
+      // Dies at its kill_at_op-th issued op; RankKilledError unwinds this
+      // thread quietly under the fleet-scope errors_return.
+      for (int i = 0; i < 100000; ++i) store.put(8880001, 1);
+      std::fprintf(stderr, "FAIL: rank 1 survived its kill plan\n");
+    }
+    if (ctx.rank() != 1) {
+      while (store.peer_alive(1)) ctx.yield_check();
+    }
+    if (ctx.rank() == 0) {
+      res.typed_peer_dead =
+          store.probe_owner(store.shard_of(keys[0])) == OpStatus::peer_dead;
+      trace::LatencyHisto degraded;
+      std::uint64_t v = 0;
+      bool found = false;
+      for (int r = 0; r < kReadsPerKey; ++r) {
+        for (const auto k : keys) {
+          Timer t;
+          store.get(k, &v, &found);
+          degraded.add(t.elapsed_ns());
+        }
+      }
+      res.degraded_p50_us = us(degraded.quantile(0.5));
+      res.degraded_p99_us = us(degraded.quantile(0.99));
+      res.failovers = store.stats().failovers;
+    }
+    // No barrier/destroy: collective with a dead rank.
+  }, opts);
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  // --- SLO table -----------------------------------------------------------
+  std::vector<SloRow> slo;
+  for (const int p : {2, 4}) {
+    for (const double rr : {0.95, 0.5}) slo.push_back(fleet_row(p, rr));
+  }
+
+  // --- cache leverage gate -------------------------------------------------
+  CacheResult cache;
+  bool cache_ok = false;
+  for (int attempt = 0; attempt < 3 && !cache_ok; ++attempt) {
+    cache = cache_rates();
+    cache_ok = cache.cached_mops >= 2.0 * cache.uncached_mops;
+  }
+
+  // --- failover SLO degradation gate ---------------------------------------
+  FailoverResult fo;
+  bool fo_ok = false;
+  for (int attempt = 0; attempt < 3 && !fo_ok; ++attempt) {
+    fo = failover_slo();
+    fo_ok = fo.typed_peer_dead && fo.failovers > 0 &&
+            fo.healthy_p99_us > 0 && fo.degraded_p99_us > 0 &&
+            fo.degraded_p99_us >= fo.healthy_p99_us;
+  }
+
+  const sim::KvParams model;
+  std::printf("{\n  \"bench\": \"kv\",\n  \"injection\": \"model\",\n");
+  std::printf("  \"slo\": [\n");
+  for (std::size_t i = 0; i < slo.size(); ++i) {
+    const SloRow& r = slo[i];
+    std::printf(
+        "    {\"name\": \"fleet_p%d_r%.0f\", \"ranks\": %d, "
+        "\"read_ratio\": %.2f, \"read_p50_us\": %.2f, \"read_p99_us\": %.2f, "
+        "\"write_p50_us\": %.2f, \"write_p99_us\": %.2f, \"reads\": %llu, "
+        "\"writes\": %llu, \"cache_hits\": %llu}%s\n",
+        r.ranks, r.read_ratio * 100, r.ranks, r.read_ratio, r.read_p50_us,
+        r.read_p99_us, r.write_p50_us, r.write_p99_us,
+        static_cast<unsigned long long>(r.reads),
+        static_cast<unsigned long long>(r.writes),
+        static_cast<unsigned long long>(r.cache_hits),
+        i + 1 == slo.size() ? "" : ",");
+  }
+  std::printf("  ],\n");
+  std::printf(
+      "  \"model\": {\"read_us\": %.2f, \"read_p99_us\": %.2f, "
+      "\"put_us\": %.2f, \"degraded_read_us\": %.2f, "
+      "\"degraded_read_p99_us\": %.2f},\n",
+      sim::kv_read_us(model), sim::kv_read_p99_us(model),
+      sim::kv_put_us(model), sim::kv_read_us(model, true),
+      sim::kv_read_p99_us(model, true));
+  std::printf(
+      "  \"cache\": {\"cached_mops_per_s\": %.3f, "
+      "\"uncached_mops_per_s\": %.3f, \"leverage\": %.2f},\n",
+      cache.cached_mops, cache.uncached_mops,
+      cache.uncached_mops > 0 ? cache.cached_mops / cache.uncached_mops : 0.0);
+  std::printf(
+      "  \"failover\": {\"name\": \"owner_kill_slo\", "
+      "\"healthy_p50_us\": %.2f, \"healthy_p99_us\": %.2f, "
+      "\"degraded_p50_us\": %.2f, \"degraded_p99_us\": %.2f, "
+      "\"typed_peer_dead\": %s, \"failovers\": %llu}\n",
+      fo.healthy_p50_us, fo.healthy_p99_us, fo.degraded_p50_us,
+      fo.degraded_p99_us, fo.typed_peer_dead ? "true" : "false",
+      static_cast<unsigned long long>(fo.failovers));
+  std::printf("}\n");
+
+  if (!cache_ok) {
+    std::fprintf(stderr,
+                 "FAIL: cached get rate %.3f Mops/s < 2x uncached %.3f\n",
+                 cache.cached_mops, cache.uncached_mops);
+    return 1;
+  }
+  if (!fo_ok) {
+    std::fprintf(stderr,
+                 "FAIL: failover SLO gate (typed_peer_dead=%d failovers=%llu "
+                 "healthy_p99=%.2f degraded_p99=%.2f)\n",
+                 fo.typed_peer_dead,
+                 static_cast<unsigned long long>(fo.failovers),
+                 fo.healthy_p99_us, fo.degraded_p99_us);
+    return 1;
+  }
+  return 0;
+}

@@ -3,11 +3,13 @@
 #
 #   scripts/bench_smoke.sh          build Release, run bench_fastpath,
 #                                   bench_datatype, bench_throughput,
-#                                   bench_collectives, bench_overlap and two
-#                                   figure benches; the JSON outputs land in
+#                                   bench_collectives, bench_overlap,
+#                                   bench_kv and two figure benches; the
+#                                   JSON outputs land in
 #                                   BENCH_fastpath.json / BENCH_datatype.json /
 #                                   BENCH_throughput.json /
-#                                   BENCH_collectives.json / BENCH_overlap.json
+#                                   BENCH_collectives.json /
+#                                   BENCH_overlap.json / BENCH_kv.json
 #                                   at the repo root, bench_fig6b_fence emits
 #                                   a Perfetto timeline
 #                                   (BENCH_fig6b_fence.trace.json), and
@@ -18,8 +20,8 @@
 #                                   concurrency-heavy tests (test_rdma,
 #                                   test_lock, test_datatype, test_comm,
 #                                   test_accumulate, test_trace, test_batch,
-#                                   test_collectives, test_progress) under
-#                                   ThreadSanitizer
+#                                   test_collectives, test_progress,
+#                                   test_kv) under ThreadSanitizer
 #
 # bench_fastpath measures software-only issue overhead (Injection::none);
 # its numbers are NOT comparable to the figure benches, which run under the
@@ -36,6 +38,7 @@ cmake --build build
 ./build/bench/bench_throughput | tee BENCH_throughput.json
 ./build/bench/bench_collectives | tee BENCH_collectives.json
 ./build/bench/bench_overlap | tee BENCH_overlap.json
+./build/bench/bench_kv | tee BENCH_kv.json
 ./build/bench/bench_fig4_latency
 ./build/bench/bench_fig6b_fence
 
@@ -45,7 +48,7 @@ if [ "${1:-}" = "--tsan" ]; then
   cmake -B build-tsan -G Ninja -DFOMPI_SANITIZE=thread
   cmake --build build-tsan --target \
     test_rdma test_lock test_datatype test_comm test_accumulate test_trace \
-    test_batch test_collectives test_progress
+    test_batch test_collectives test_progress test_kv
   ./build-tsan/tests/test_rdma
   ./build-tsan/tests/test_lock
   ./build-tsan/tests/test_datatype
@@ -55,6 +58,7 @@ if [ "${1:-}" = "--tsan" ]; then
   ./build-tsan/tests/test_batch
   ./build-tsan/tests/test_collectives
   ./build-tsan/tests/test_progress
+  ./build-tsan/tests/test_kv
 fi
 
 echo "bench smoke OK"

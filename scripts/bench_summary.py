@@ -12,7 +12,10 @@ bench_datatype's "software"/"modeled" — into a single map of
 and writes BENCH_summary.json next to the inputs. Fault-injection counters
 (fault_injected / op_retried / op_failed) that a case reports are exported
 alongside its headline metric as "<case>/<counter>", so a chaos or
-armed-plan bench run leaves its retry traffic in the summary. Perfetto
+armed-plan bench run leaves its retry traffic in the summary. Latency
+quantiles (any "*_p50_us" / "*_p99_us" key, e.g. bench_kv's SLO and
+failover rows) are exported the same way — a named row carrying only
+quantiles still lands in the summary. Perfetto
 trace artifacts (*.trace.json) and a stale summary itself are skipped.
 Exits non-zero if no bench artifacts were found or one fails to parse, so
 CI catches a silently broken emission pipeline.
@@ -24,6 +27,7 @@ import sys
 HEADLINE_KEYS = ("ns_per_op", "ns_per_elem", "mops_per_s", "us_per_op",
                  "us_per_put")
 FAULT_KEYS = ("fault_injected", "op_retried", "op_failed")
+QUANTILE_SUFFIXES = ("_p50_us", "_p99_us")
 # Name-less case rows (e.g. bench_throughput's stripe table) are identified
 # by their sweep parameter instead; synthesize "ch4"-style names from it.
 ID_KEYS = (("channels", "ch"), ("fibers", "f"), ("p", "p"))
@@ -42,11 +46,18 @@ def flatten(prefix, node, out):
     """Collects name -> headline metric from any nesting of dicts/lists."""
     if isinstance(node, dict):
         name = case_name(node)
-        if name is not None and any(k in node for k in HEADLINE_KEYS):
+        quantiles = sorted(
+            k for k in node if k.endswith(QUANTILE_SUFFIXES)
+        )
+        if name is not None and (
+            any(k in node for k in HEADLINE_KEYS) or quantiles
+        ):
             for key in HEADLINE_KEYS:
                 if key in node:
                     out[f"{prefix}/{name}"] = node[key]
                     break
+            for key in quantiles:
+                out[f"{prefix}/{name}/{key}"] = node[key]
             for key in FAULT_KEYS:
                 if key in node:
                     out[f"{prefix}/{name}/{key}"] = node[key]

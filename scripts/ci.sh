@@ -2,23 +2,26 @@
 # Tier-1 CI gate: everything a change must pass before merging.
 #
 #   1. Release build + full ctest suite (the tier-1 gate from ROADMAP.md)
-#   2. Seeded chaos gate: the fault-injection suite (hashtable + DSDE
-#      workloads under a survivable fault plan, seeds 11/22/33 baked into
-#      tests/test_fault.cpp) repeated to confirm the counters are a pure
-#      function of the seed
+#   2. Seeded chaos gate: the fault-injection suite (hashtable + DSDE +
+#      KV-service workloads under a survivable fault plan, seeds 11/22/33
+#      baked into tests/test_fault.cpp and tests/test_kv.cpp) repeated to
+#      confirm the counters are a pure function of the seed
 #   3. ThreadSanitizer build + the concurrency-heavy tests (datatype
 #      flatten-cache sharing, RDMA issue paths, locks, comm, accumulate,
 #      flight-recorder tracing, doorbell batching/striping, fault
 #      injection/recovery incl. Delivery::deferred under a fault plan and
 #      the suspended-fiber-fleet chaos kill, RMA-native collectives incl.
 #      forced trees and persistent plans, the fiber progress engine +
-#      notify plane)
+#      notify plane, and the KV service's seqlock reads under a
+#      concurrent writer plus its kill/failover path)
 #   4. Benchmark smoke run (bench_fastpath + bench_datatype +
-#      bench_throughput + bench_collectives + bench_overlap JSON emission
-#      and two figure benches; the throughput bench self-gates >=2x batched
-#      speedup and monotone striping, the collectives bench self-gates
-#      log-p DES shapes, the overlap bench self-gates >=4x 64-fiber AMO
-#      pipelining, exiting non-zero on violation)
+#      bench_throughput + bench_collectives + bench_overlap + bench_kv JSON
+#      emission and two figure benches; the throughput bench self-gates
+#      >=2x batched speedup and monotone striping, the collectives bench
+#      self-gates log-p DES shapes, the overlap bench self-gates >=4x
+#      64-fiber AMO pipelining, the kv bench self-gates >=2x cache leverage
+#      and a monotone failover SLO with typed peer_dead, exiting non-zero
+#      on violation)
 #   5. Trace-artifact gate: the Perfetto timeline bench_fig6b_fence emitted
 #      must be valid JSON and must have dropped zero events
 #   6. Fault fast-path gate: arming an (idle) fault plan must not tax the
@@ -43,11 +46,13 @@ ctest --test-dir build --output-on-failure
 # suite catches any schedule-order dependence the single run misses.
 ./build/tests/test_fault --gtest_filter='Chaos.*' --gtest_repeat=3 \
   --gtest_brief=1
+./build/tests/test_kv --gtest_filter='KvChaos.*' --gtest_repeat=3 \
+  --gtest_brief=1
 
 cmake -B build-tsan -G Ninja -DFOMPI_SANITIZE=thread
 cmake --build build-tsan --target \
   test_rdma test_lock test_datatype test_comm test_accumulate test_trace \
-  test_batch test_fault test_collectives test_progress
+  test_batch test_fault test_collectives test_progress test_kv
 ./build-tsan/tests/test_rdma
 ./build-tsan/tests/test_lock
 ./build-tsan/tests/test_datatype
@@ -58,6 +63,7 @@ cmake --build build-tsan --target \
 ./build-tsan/tests/test_fault
 ./build-tsan/tests/test_collectives
 ./build-tsan/tests/test_progress
+./build-tsan/tests/test_kv
 
 scripts/bench_smoke.sh
 

@@ -13,13 +13,6 @@ namespace {
 constexpr int kTagElem = 101;
 constexpr int kTagDone = 102;
 
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
 }  // namespace
 
 DistHashtable::DistHashtable(fabric::RankCtx& ctx, HtBackend backend,
@@ -29,6 +22,7 @@ DistHashtable::DistHashtable(fabric::RankCtx& ctx, HtBackend backend,
       rank_(ctx.rank()),
       table_slots_(table_slots),
       heap_slots_(heap_slots),
+      layout_{/*base=*/0, table_slots, heap_slots},  // fig7a strides
       fabric_(&ctx.fabric()) {
   FOMPI_REQUIRE(table_slots_ > 0 && heap_slots_ > 0, ErrClass::arg,
                 "hashtable needs nonzero capacities");
@@ -70,11 +64,12 @@ void DistHashtable::destroy(fabric::RankCtx& ctx) {
 }
 
 std::size_t DistHashtable::slot_of(std::uint64_t key) const {
-  return static_cast<std::size_t>(mix(key) >> 32) % table_slots_;
+  return static_cast<std::size_t>(kv::mix64(key) >> 32) % table_slots_;
 }
 
 int DistHashtable::owner_of(std::uint64_t key) const {
-  return static_cast<int>(mix(key) % static_cast<std::uint64_t>(nranks_));
+  return static_cast<int>(kv::mix64(key) %
+                          static_cast<std::uint64_t>(nranks_));
 }
 
 // --- RMA backend -----------------------------------------------------------
@@ -82,30 +77,14 @@ int DistHashtable::owner_of(std::uint64_t key) const {
 void DistHashtable::insert_rma(std::uint64_t key) {
   const int owner = owner_of(key);
   const std::size_t slot = slot_of(key);
-  const std::uint64_t zero = 0, one = 1;
-  std::uint64_t old = 0;
-  win_.compare_and_swap(&key, &zero, &old, Elem::u64, owner, off_table(slot));
+  const std::uint64_t one = 1;
+  const std::uint64_t old = kv::claim_slot(win_, owner, layout_, slot, key);
   if (old == key) return;  // duplicate
   if (old != 0) {
     // Collision: acquire an overflow cell, fill it, link it at the head.
-    std::uint64_t idx = 0;
-    win_.fetch_and_op(&one, &idx, Elem::u64, RedOp::sum, owner,
-                      off_next_free());
-    FOMPI_REQUIRE(idx < heap_slots_, ErrClass::no_mem,
-                  "hashtable overflow heap exhausted");
+    const std::uint64_t idx = kv::acquire_cell(win_, owner, layout_);
     win_.put(&key, 8, owner, off_heap(static_cast<std::size_t>(idx)));
-    while (true) {
-      std::uint64_t head = 0;
-      win_.get_accumulate(nullptr, &head, 1, Elem::u64, RedOp::no_op, owner,
-                          off_chain(slot));
-      win_.put(&head, 8, owner, off_heap(static_cast<std::size_t>(idx)) + 8);
-      win_.flush(owner);  // cell complete before it becomes reachable
-      const std::uint64_t linked = idx + 1;
-      std::uint64_t prev = 0;
-      win_.compare_and_swap(&linked, &head, &prev, Elem::u64, owner,
-                            off_chain(slot));
-      if (prev == head) break;
-    }
+    kv::link_cell(win_, owner, layout_, slot, idx);
   }
   win_.accumulate(&one, 1, Elem::u64, RedOp::sum, owner, off_count());
 }
@@ -324,15 +303,13 @@ void DistHashtable::batch_insert(fabric::RankCtx& ctx,
 
 bool DistHashtable::chain_contains(int owner, std::size_t slot,
                                    std::uint64_t key) {
+  if (backend_ == HtBackend::rma || backend_ == HtBackend::rma_fiber) {
+    return kv::find_in_chain(win_, owner, layout_, slot, key) != 0;
+  }
   auto read_remote = [&](std::size_t off) {
     std::uint64_t v = 0;
-    if (backend_ == HtBackend::rma || backend_ == HtBackend::rma_fiber) {
-      win_.get_accumulate(nullptr, &v, 1, Elem::u64, RedOp::no_op, owner,
-                          off);
-    } else {
-      shared_->memget(owner, off, &v, 8);
-      shared_->fence();
-    }
+    shared_->memget(owner, off, &v, 8);
+    shared_->fence();
     return v;
   };
   std::uint64_t head = read_remote(off_chain(slot));
@@ -377,14 +354,90 @@ bool DistHashtable::contains(std::uint64_t key) {
   }
   std::uint64_t top = 0;
   if (backend_ == HtBackend::rma || backend_ == HtBackend::rma_fiber) {
-    win_.get_accumulate(nullptr, &top, 1, Elem::u64, RedOp::no_op, owner,
-                        off_table(slot));
+    top = kv::read_word(win_, owner, off_table(slot));
   } else {
     shared_->memget(owner, off_table(slot), &top, 8);
     shared_->fence();
   }
   if (top == key) return true;
   return chain_contains(owner, slot, key);
+}
+
+// One-sided lookups as a continuation-frame pipeline, mirroring
+// InsertFiber: each probe (top cell, chain head, chain walk) issues as an
+// explicit-handle atomic read and the fiber parks on it, so a pool keeps
+// several lookups in flight per rank.
+struct DistHashtable::LookupFiber final : fabric::progress::Fiber {
+  LookupFiber(DistHashtable& ht, const std::vector<std::uint64_t>& keys,
+              std::size_t* cursor, std::vector<bool>* out)
+      : ht(ht), keys(keys), cursor(cursor), out(out) {}
+
+  void step(fabric::progress::Scheduler& s) override {
+    FOMPI_FIBER_BEGIN();
+    while (*cursor < keys.size()) {
+      at = (*cursor)++;
+      key = keys[at];
+      owner = ht.owner_of(key);
+      slot = ht.slot_of(key);
+      req = ht.win_.rfetch_and_op(nullptr, &word, Elem::u64, RedOp::no_op,
+                                  owner, ht.off_table(slot));
+      FOMPI_FIBER_AWAIT(s, req.handles()[0]);
+      req.dismiss();
+      if (word == key) {
+        (*out)[at] = true;
+        continue;
+      }
+      req = ht.win_.rfetch_and_op(nullptr, &head, Elem::u64, RedOp::no_op,
+                                  owner, ht.off_chain(slot));
+      FOMPI_FIBER_AWAIT(s, req.handles()[0]);
+      req.dismiss();
+      while (head != 0) {
+        idx = head - 1;
+        req = ht.win_.rfetch_and_op(nullptr, &word, Elem::u64, RedOp::no_op,
+                                    owner,
+                                    ht.off_heap(static_cast<std::size_t>(idx)));
+        FOMPI_FIBER_AWAIT(s, req.handles()[0]);
+        req.dismiss();
+        if (word == key) {
+          (*out)[at] = true;
+          break;
+        }
+        req = ht.win_.rfetch_and_op(
+            nullptr, &head, Elem::u64, RedOp::no_op, owner,
+            ht.off_heap(static_cast<std::size_t>(idx)) + 8);
+        FOMPI_FIBER_AWAIT(s, req.handles()[0]);
+        req.dismiss();
+      }
+    }
+    FOMPI_FIBER_END();
+  }
+
+  DistHashtable& ht;
+  const std::vector<std::uint64_t>& keys;
+  std::size_t* cursor;
+  std::vector<bool>* out;
+  std::uint64_t key = 0, word = 0, head = 0, idx = 0;
+  int owner = 0;
+  std::size_t slot = 0, at = 0;
+  core::RmaRequest req;
+};
+
+std::vector<bool> DistHashtable::batch_contains(
+    const std::vector<std::uint64_t>& keys) {
+  std::vector<bool> out(keys.size(), false);
+  if (backend_ != HtBackend::rma_fiber) {
+    for (std::size_t i = 0; i < keys.size(); ++i) out[i] = contains(keys[i]);
+    return out;
+  }
+  fabric::progress::Scheduler sched(*fabric_, rank_);
+  std::size_t cursor = 0;
+  const std::size_t pool =
+      std::min<std::size_t>(8, std::max<std::size_t>(1, keys.size()));
+  for (std::size_t i = 0; i < pool; ++i) {
+    sched.spawn<LookupFiber>(*this, keys, &cursor, &out);
+  }
+  sched.run();
+  return out;
 }
 
 std::uint64_t DistHashtable::local_count() const {

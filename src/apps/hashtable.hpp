@@ -25,6 +25,7 @@
 
 #include "baselines/pgas.hpp"
 #include "core/window.hpp"
+#include "kv/bucket.hpp"
 
 namespace fompi::apps {
 
@@ -43,9 +44,15 @@ class DistHashtable {
   void batch_insert(fabric::RankCtx& ctx,
                     const std::vector<std::uint64_t>& keys);
 
-  /// One-sided lookup (rma/pgas backends; collective-free). For the p2p
-  /// backend only local volumes can be queried.
+  /// One-sided lookup (rma/rma_fiber/pgas backends; collective-free). For
+  /// the p2p backend only local volumes can be queried.
   bool contains(std::uint64_t key);
+
+  /// Collective-free batched lookup; result[i] answers keys[i]. On the
+  /// rma_fiber backend the lookups run as a fiber pipeline (a pool pulls
+  /// keys off a shared cursor, each parking on its in-flight atomic read);
+  /// the other backends answer with sequential contains() calls.
+  std::vector<bool> batch_contains(const std::vector<std::uint64_t>& keys);
 
   /// Collective: total elements stored across all ranks.
   std::uint64_t global_count(fabric::RankCtx& ctx);
@@ -56,22 +63,25 @@ class DistHashtable {
   int owner_of(std::uint64_t key) const;
 
  private:
-  // Window layout offsets (bytes).
-  std::size_t off_next_free() const { return 0; }
-  std::size_t off_count() const { return 8; }
-  std::size_t off_table(std::size_t slot) const { return 16 + 8 * slot; }
+  // Window layout (bytes): the shared CAS-bucket scheme at fig7a strides
+  // (bare {key} top cells, {key, next} overflow cells) — kv/bucket.hpp
+  // keeps these offsets bit-identical to the pre-extraction layout.
+  std::size_t off_next_free() const { return layout_.off_next_free(); }
+  std::size_t off_count() const { return layout_.off_count(); }
+  std::size_t off_table(std::size_t slot) const {
+    return layout_.off_table(slot);
+  }
   std::size_t off_chain(std::size_t slot) const {
-    return 16 + 8 * (table_slots_ + slot);
+    return layout_.off_chain(slot);
   }
-  std::size_t off_heap(std::size_t idx) const {
-    return 16 + 16 * table_slots_ + 16 * idx;  // {key, next} cells
-  }
-  std::size_t volume_bytes() const { return off_heap(heap_slots_); }
+  std::size_t off_heap(std::size_t idx) const { return layout_.off_heap(idx); }
+  std::size_t volume_bytes() const { return layout_.region_bytes(); }
 
   std::size_t slot_of(std::uint64_t key) const;
   void insert_rma(std::uint64_t key);
   void batch_insert_rma_fiber(const std::vector<std::uint64_t>& keys);
-  struct InsertFiber;  // rma_fiber pipeline (defined in hashtable.cpp)
+  struct InsertFiber;  // rma_fiber pipelines (defined in hashtable.cpp)
+  struct LookupFiber;
   void insert_pgas(std::uint64_t key);
   void insert_local(std::uint64_t key);  // owner-side (p2p handler)
   bool chain_contains(int owner, std::size_t slot, std::uint64_t key);
@@ -82,6 +92,7 @@ class DistHashtable {
   int rank_ = -1;
   std::size_t table_slots_ = 0;
   std::size_t heap_slots_ = 0;
+  kv::BucketLayout layout_;
   core::Win win_;                                // rma backend
   std::optional<baselines::SharedArray> shared_; // pgas backend
   fabric::Fabric* fabric_ = nullptr;

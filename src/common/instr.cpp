@@ -35,6 +35,10 @@ const char* to_string(Op op) noexcept {
     case Op::notify_posted:    return "notify_posted";
     case Op::notify_consumed:  return "notify_consumed";
     case Op::notify_retry:     return "notify_retry";
+    case Op::kv_cache_hit:     return "kv_cache_hit";
+    case Op::kv_cache_miss:    return "kv_cache_miss";
+    case Op::kv_read_retry:    return "kv_read_retry";
+    case Op::kv_failover:      return "kv_failover";
     case Op::kCount:           break;
   }
   return "unknown";

@@ -1,0 +1,133 @@
+// Shared CAS-bucket protocol: the one-sided hash-bucket scheme of the
+// paper's Fig 7a hashtable, extracted so the fig7a kernel (src/apps) and
+// the KV service (src/kv) run ONE implementation instead of a fork.
+//
+// A bucket region inside a window is laid out as
+//
+//   [next_free][count][table: table_slots cells][chain: table_slots heads]
+//   [heap: heap_slots cells]
+//
+// where every cell starts with an 8-byte key word and overflow cells end
+// with an 8-byte next link (head value = cell index + 1, 0 = empty). The
+// strides are parameters: the fig7a table stores bare keys (table_stride 8,
+// cell_stride 16 = {key, next}), the KV store adds a seqlock version word
+// and a value per cell (table_stride 24, cell_stride 32). With the fig7a
+// strides the offsets are bit-identical to the original hashtable layout,
+// so its figure numbers do not move.
+//
+// The protocol (paper Sec 4.1): claim the top slot with one remote CAS on
+// the key word; on collision acquire an overflow cell with a fetch-add on
+// next_free, fill it, then link it at the chain head with a read-put-flush-
+// CAS loop (the cell is completely written before it becomes reachable).
+// Lookups are one-sided atomic reads walking the chain.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "core/window.hpp"
+
+namespace fompi::kv {
+
+/// splitmix64-style avalanche; the fig7a key hash (kept bit-identical).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Byte layout of one bucket region, parameterized over cell strides and a
+/// base offset so several regions (KV shards) can share one window.
+struct BucketLayout {
+  std::size_t base = 0;          ///< byte offset of the region in the window
+  std::size_t table_slots = 0;
+  std::size_t heap_slots = 0;
+  std::size_t table_stride = 8;  ///< bytes per top cell (key word first)
+  std::size_t cell_stride = 16;  ///< bytes per overflow cell (key first,
+                                 ///< next link in the last 8 bytes)
+
+  std::size_t off_next_free() const { return base; }
+  std::size_t off_count() const { return base + 8; }
+  std::size_t off_table(std::size_t slot) const {
+    return base + 16 + table_stride * slot;
+  }
+  std::size_t off_chain(std::size_t slot) const {
+    return base + 16 + table_stride * table_slots + 8 * slot;
+  }
+  std::size_t off_heap(std::size_t idx) const {
+    return base + 16 + table_stride * table_slots + 8 * table_slots +
+           cell_stride * idx;
+  }
+  /// Next-link word of overflow cell `idx` (its last 8 bytes).
+  std::size_t off_cell_next(std::size_t idx) const {
+    return off_heap(idx) + cell_stride - 8;
+  }
+  std::size_t region_bytes() const { return off_heap(heap_slots) - base; }
+};
+
+/// One-sided atomic read of an 8-byte word (get_accumulate with no_op).
+inline std::uint64_t read_word(core::Win& win, int owner, std::size_t off) {
+  std::uint64_t v = 0;
+  win.get_accumulate(nullptr, &v, 1, Elem::u64, RedOp::no_op, owner, off);
+  return v;
+}
+
+/// CAS-claims the top cell of `slot` with `key` (expected empty). Returns
+/// the previous key word: 0 = claimed, `key` = duplicate, anything else =
+/// collision (the caller takes the overflow path).
+inline std::uint64_t claim_slot(core::Win& win, int owner,
+                                const BucketLayout& l, std::size_t slot,
+                                std::uint64_t key) {
+  const std::uint64_t zero = 0;
+  std::uint64_t old = 0;
+  win.compare_and_swap(&key, &zero, &old, Elem::u64, owner, l.off_table(slot));
+  return old;
+}
+
+/// Acquires a fresh overflow cell index with one fetch-add on the region's
+/// next-free word. Raises no_mem when the heap is exhausted.
+inline std::uint64_t acquire_cell(core::Win& win, int owner,
+                                  const BucketLayout& l) {
+  const std::uint64_t one = 1;
+  std::uint64_t idx = 0;
+  win.fetch_and_op(&one, &idx, Elem::u64, RedOp::sum, owner,
+                   l.off_next_free());
+  FOMPI_REQUIRE(idx < l.heap_slots, ErrClass::no_mem,
+                "bucket overflow heap exhausted");
+  return idx;
+}
+
+/// Links the (already filled) overflow cell `idx` at the head of `slot`'s
+/// chain: read head, store it into the cell's next link, flush so the cell
+/// is complete before it becomes reachable, then CAS the head to idx + 1.
+inline void link_cell(core::Win& win, int owner, const BucketLayout& l,
+                      std::size_t slot, std::uint64_t idx) {
+  while (true) {
+    std::uint64_t head = read_word(win, owner, l.off_chain(slot));
+    win.put(&head, 8, owner, l.off_cell_next(static_cast<std::size_t>(idx)));
+    win.flush(owner);
+    const std::uint64_t linked = idx + 1;
+    std::uint64_t prev = 0;
+    win.compare_and_swap(&linked, &head, &prev, Elem::u64, owner,
+                         l.off_chain(slot));
+    if (prev == head) return;
+  }
+}
+
+/// Walks `slot`'s overflow chain with one-sided atomic reads. Returns the
+/// head-style link (cell index + 1) of the cell whose key word equals
+/// `key`, or 0 when the chain has no such cell.
+inline std::uint64_t find_in_chain(core::Win& win, int owner,
+                                   const BucketLayout& l, std::size_t slot,
+                                   std::uint64_t key) {
+  std::uint64_t head = read_word(win, owner, l.off_chain(slot));
+  while (head != 0) {
+    const std::size_t idx = static_cast<std::size_t>(head - 1);
+    if (read_word(win, owner, l.off_heap(idx)) == key) return head;
+    head = read_word(win, owner, l.off_cell_next(idx));
+  }
+  return 0;
+}
+
+}  // namespace fompi::kv

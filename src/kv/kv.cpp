@@ -1,0 +1,767 @@
+#include "kv/kv.hpp"
+
+#include <algorithm>
+
+#include "common/backoff.hpp"
+#include "common/instr.hpp"
+#include "common/rng.hpp"
+#include "common/timing.hpp"
+#include "fabric/progress/progress.hpp"
+#include "kv/zipf.hpp"
+
+namespace fompi::kv {
+
+namespace {
+
+// A KV cell is {key, version, value(, next)}: key at +0, seqlock version
+// word at +8, value at +16 — identical for top cells (stride 24) and
+// overflow cells (stride 32, next link last).
+constexpr std::size_t kVerOff = 8;
+constexpr std::size_t kValOff = 16;
+constexpr std::size_t kTopStride = 24;
+constexpr std::size_t kCellStride = 32;
+
+// Seqlock spins stuck this long on an odd version check for a dead writer
+// before attempting revocation (mirrors the window's dead-lock-holder path).
+constexpr int kRevokeSpins = 256;
+
+}  // namespace
+
+KvStore::KvStore(fabric::RankCtx& ctx, KvConfig cfg)
+    : cfg_(cfg),
+      nranks_(ctx.nranks()),
+      rank_(ctx.rank()),
+      fabric_(&ctx.fabric()) {
+  FOMPI_REQUIRE(cfg_.shards >= 1, ErrClass::arg, "kv needs >= 1 shard");
+  FOMPI_REQUIRE(cfg_.table_slots > 0 && cfg_.heap_slots > 0, ErrClass::arg,
+                "kv needs nonzero shard capacities");
+  shards_per_rank_ = (cfg_.shards + nranks_ - 1) / nranks_;
+
+  core::WinConfig wc;
+  wc.err_mode = core::ErrMode::errors_return;  // service degrades, not dies
+  const std::size_t bytes =
+      routing_bytes() + 2 * static_cast<std::size_t>(shards_per_rank_) *
+                            shard_region_bytes();
+  win_ = core::Win::allocate(ctx, bytes, wc);
+
+  // Rank 0 publishes the authoritative routing table into its own region
+  // before the barrier; clients fetch it one-sided afterwards (MR-fetch
+  // idiom: one rget at attach time, no metadata traffic per op).
+  if (rank_ == 0) {
+    auto* words = static_cast<std::uint64_t*>(win_.base());
+    for (int s = 0; s < cfg_.shards; ++s) {
+      const std::uint64_t owner = static_cast<std::uint64_t>(s % nranks_);
+      const std::uint64_t repl = (owner + 1) % static_cast<std::uint64_t>(
+                                                  nranks_);
+      words[s] = owner | (repl << 32);
+    }
+  }
+  win_.lock_all();  // passive epoch held for the service's lifetime
+  ctx.barrier();
+
+  routing_.assign(static_cast<std::size_t>(cfg_.shards), 0);
+  auto req = win_.rget(routing_.data(), routing_bytes(), 0, 0);
+  const auto st = wait_req(req);
+  FOMPI_REQUIRE(st == rdma::OpStatus::ok, ErrClass::internal,
+                "kv routing-table fetch failed");
+  degraded_.assign(static_cast<std::size_t>(cfg_.shards), false);
+  cache_.assign(static_cast<std::size_t>(cfg_.shards), {});
+  epoch_seen_.assign(static_cast<std::size_t>(cfg_.shards), 0);
+  ctx.barrier();  // no traffic before every client holds the table
+}
+
+void KvStore::destroy(fabric::RankCtx& ctx) {
+  ctx.barrier();
+  win_.unlock_all();
+  win_.free();
+}
+
+// --- layout -----------------------------------------------------------------
+
+std::size_t KvStore::routing_bytes() const {
+  return 8 * static_cast<std::size_t>(cfg_.shards);
+}
+
+std::size_t KvStore::shard_region_bytes() const {
+  BucketLayout l;
+  l.table_slots = cfg_.table_slots;
+  l.heap_slots = cfg_.heap_slots;
+  l.table_stride = kTopStride;
+  l.cell_stride = kCellStride;
+  return 16 + l.region_bytes();  // [epoch][pad] + buckets
+}
+
+std::size_t KvStore::region_base(int shard, bool replica) const {
+  const auto local = static_cast<std::size_t>(shard / nranks_);
+  const auto bank = replica ? static_cast<std::size_t>(shards_per_rank_) : 0;
+  return routing_bytes() + (bank + local) * shard_region_bytes();
+}
+
+BucketLayout KvStore::layout_for(int shard, bool replica) const {
+  BucketLayout l;
+  l.base = region_base(shard, replica) + 16;
+  l.table_slots = cfg_.table_slots;
+  l.heap_slots = cfg_.heap_slots;
+  l.table_stride = kTopStride;
+  l.cell_stride = kCellStride;
+  return l;
+}
+
+int KvStore::shard_of(std::uint64_t key) const {
+  return static_cast<int>(mix64(key) %
+                          static_cast<std::uint64_t>(cfg_.shards));
+}
+
+std::size_t KvStore::slot_of(std::uint64_t key) const {
+  return static_cast<std::size_t>(mix64(key) >> 32) % cfg_.table_slots;
+}
+
+int KvStore::owner_of(int shard) const {
+  return static_cast<int>(routing_[static_cast<std::size_t>(shard)] &
+                          0xffffffffull);
+}
+
+int KvStore::replica_of(int shard) const {
+  return static_cast<int>(routing_[static_cast<std::size_t>(shard)] >> 32);
+}
+
+std::uint64_t KvStore::shard_epoch(int shard, bool replica) {
+  std::uint64_t ep = 0;
+  amo_read(replica ? replica_of(shard) : owner_of(shard),
+           epoch_off(shard, replica), &ep);
+  return ep;
+}
+
+std::size_t KvStore::cached_entries(int shard) const {
+  return cache_[static_cast<std::size_t>(shard)].size();
+}
+
+rdma::OpStatus KvStore::probe_owner(int shard) {
+  // Identity accumulate (+0): pure reads are served from a dead rank's
+  // frozen memory image under the fail-stop model, so only a mutating AMO
+  // yields the typed peer_dead. Adding zero leaves the epoch untouched.
+  return amo_add(owner_of(shard), epoch_off(shard, false), 0);
+}
+
+// --- typed-status AMO helpers ------------------------------------------------
+//
+// Every remote word access goes through the request-based ops: faults
+// retire as typed statuses instead of raising (or, under errors_return,
+// silently recording), so the client can degrade per shard. An awaited
+// rput/raccumulate is remotely complete at retire, which the seqlock's
+// publish ordering relies on.
+
+rdma::OpStatus KvStore::wait_req(core::RmaRequest& req) {
+  rdma::OpStatus st = rdma::OpStatus::ok;
+  if (req.handles().empty()) {
+    // Eager retirement: under errors_return a dead-peer issue records into
+    // the window instead of producing a handle. Consume the sticky status.
+    st = win_.last_error();
+    if (st != rdma::OpStatus::ok) win_.clear_last_error();
+  }
+  for (const auto h : req.handles()) {
+    const auto s = req.nic()->wait_status(h);
+    if (s != rdma::OpStatus::ok && st == rdma::OpStatus::ok) st = s;
+  }
+  req.dismiss();
+  return st;
+}
+
+rdma::OpStatus KvStore::amo_read(int t, std::size_t off, std::uint64_t* v) {
+  auto req = win_.rfetch_and_op(nullptr, v, Elem::u64, RedOp::no_op, t, off);
+  return wait_req(req);
+}
+
+rdma::OpStatus KvStore::amo_cas(int t, std::size_t off, std::uint64_t expect,
+                                std::uint64_t desired, std::uint64_t* prev) {
+  auto req =
+      win_.rcompare_and_swap(&desired, &expect, prev, Elem::u64, t, off);
+  return wait_req(req);
+}
+
+rdma::OpStatus KvStore::amo_add(int t, std::size_t off, std::uint64_t add) {
+  auto req = win_.raccumulate(&add, 1, Elem::u64, RedOp::sum, t, off);
+  return wait_req(req);
+}
+
+rdma::OpStatus KvStore::amo_write(int t, std::size_t off, std::uint64_t v) {
+  auto req = win_.raccumulate(&v, 1, Elem::u64, RedOp::replace, t, off);
+  return wait_req(req);
+}
+
+// --- failover ----------------------------------------------------------------
+
+bool KvStore::any_peer_dead() const {
+  for (int r = 0; r < nranks_; ++r) {
+    if (!win_.peer_alive(r)) return true;
+  }
+  return false;
+}
+
+void KvStore::fail_over(int shard) {
+  if (degraded_[static_cast<std::size_t>(shard)]) return;
+  degraded_[static_cast<std::size_t>(shard)] = true;
+  // Primary-stamped epochs can no longer be validated: drop the cache.
+  cache_[static_cast<std::size_t>(shard)].clear();
+  ++stats_.failovers;
+  count(Op::kv_failover);
+}
+
+void KvStore::maybe_revoke(int t, std::size_t ver_off,
+                           std::uint64_t stuck_ver) {
+  // A writer that died between lock (v -> odd) and release leaves the
+  // seqlock wedged. Only ever force-release when a death has actually been
+  // observed; the CAS makes revocation race-safe against a live writer's
+  // own release. The cell's last in-flight write may or may not have
+  // landed — fail-stop semantics, either value is a legal outcome.
+  if (!any_peer_dead()) return;
+  std::uint64_t prev = 0;
+  amo_cas(t, ver_off, stuck_ver, stuck_ver + 1, &prev);
+}
+
+// --- seqlock cell protocol ----------------------------------------------------
+
+rdma::OpStatus KvStore::seq_read(int t, std::size_t cell_off,
+                                 std::uint64_t key, std::uint64_t* value,
+                                 bool* found) {
+  Backoff bo;
+  int stuck = 0;
+  while (true) {
+    std::uint64_t v1 = 0;
+    auto st = amo_read(t, cell_off + kVerOff, &v1);
+    if (st != rdma::OpStatus::ok) return st;
+    if (v1 == 0) {  // insert claimed but not linearized yet: a legal miss
+      *found = false;
+      return rdma::OpStatus::ok;
+    }
+    if ((v1 & 1) != 0) {  // write in progress
+      ++stats_.read_retries;
+      count(Op::kv_read_retry);
+      if (++stuck > kRevokeSpins) {
+        maybe_revoke(t, cell_off + kVerOff, v1);
+        stuck = 0;
+      }
+      bo.pause();
+      fabric_->yield_check();
+      continue;
+    }
+    // Key re-read inside the version snapshot: the cell may have been
+    // tombstoned and reclaimed by a different key since we located it.
+    std::uint64_t k = 0;
+    st = amo_read(t, cell_off, &k);
+    if (st != rdma::OpStatus::ok) return st;
+    std::uint64_t val = 0;
+    st = amo_read(t, cell_off + kValOff, &val);
+    if (st != rdma::OpStatus::ok) return st;
+    std::uint64_t v2 = 0;
+    st = amo_read(t, cell_off + kVerOff, &v2);
+    if (st != rdma::OpStatus::ok) return st;
+    if (v1 == v2) {
+      *found = (k == key);
+      *value = *found ? val : 0;
+      return rdma::OpStatus::ok;
+    }
+    ++stats_.read_retries;  // version moved underneath us: reread
+    count(Op::kv_read_retry);
+    bo.pause();
+    fabric_->yield_check();
+  }
+}
+
+rdma::OpStatus KvStore::seq_write(int t, int shard, bool replica,
+                                  std::size_t cell_off, std::uint64_t value) {
+  // value == kTombstone means erase: the KEY word is overwritten (readers
+  // then miss), the value word is left alone.
+  Backoff bo;
+  int stuck = 0;
+  std::uint64_t v = 0;
+  while (true) {  // lock: CAS version even -> odd
+    auto st = amo_read(t, cell_off + kVerOff, &v);
+    if (st != rdma::OpStatus::ok) return st;
+    if ((v & 1) == 0) {
+      std::uint64_t prev = 0;
+      st = amo_cas(t, cell_off + kVerOff, v, v + 1, &prev);
+      if (st != rdma::OpStatus::ok) return st;
+      if (prev == v) break;
+    } else if (++stuck > kRevokeSpins) {
+      maybe_revoke(t, cell_off + kVerOff, v);
+      stuck = 0;
+    }
+    bo.pause();
+    fabric_->yield_check();
+  }
+  auto st = value == kTombstone ? amo_write(t, cell_off, kTombstone)
+                                : amo_write(t, cell_off + kValOff, value);
+  // Release even on failure so a typed fault does not wedge the cell.
+  const auto rel = amo_write(t, cell_off + kVerOff, v + 2);
+  if (st == rdma::OpStatus::ok) st = rel;
+  if (st != rdma::OpStatus::ok) return st;
+  // Invalidate every client's cached view of the shard: one AMO.
+  return amo_add(t, epoch_off(shard, replica), 1);
+}
+
+// --- cell location ------------------------------------------------------------
+
+rdma::OpStatus KvStore::locate(int t, const BucketLayout& l,
+                               std::uint64_t key, bool claim,
+                               std::uint64_t value, std::size_t* cell_off,
+                               bool* fresh_insert) {
+  const std::size_t slot = slot_of(key);
+  *cell_off = 0;
+  *fresh_insert = false;
+  Backoff bo;
+  while (true) {  // restarted only by tombstone-reclaim races
+    if (claim) {
+      std::uint64_t prev = 0;
+      auto st = amo_cas(t, l.off_table(slot), 0, key, &prev);
+      if (st != rdma::OpStatus::ok) return st;
+      if (prev == 0 || prev == key) {  // claimed fresh or already ours
+        *cell_off = l.off_table(slot);
+        return rdma::OpStatus::ok;
+      }
+      if (prev == kTombstone) {  // reclaim the erased top cell
+        std::uint64_t p2 = 0;
+        st = amo_cas(t, l.off_table(slot), kTombstone, key, &p2);
+        if (st != rdma::OpStatus::ok) return st;
+        if (p2 == kTombstone) {
+          *cell_off = l.off_table(slot);
+          return rdma::OpStatus::ok;
+        }
+        bo.pause();  // lost the reclaim race: re-examine the slot
+        fabric_->yield_check();
+        continue;
+      }
+    } else {
+      std::uint64_t top = 0;
+      const auto st = amo_read(t, l.off_table(slot), &top);
+      if (st != rdma::OpStatus::ok) return st;
+      if (top == key) {
+        *cell_off = l.off_table(slot);
+        return rdma::OpStatus::ok;
+      }
+      if (top == 0) return rdma::OpStatus::ok;  // slot never claimed: miss
+    }
+
+    // Walk the overflow chain (atomic one-sided reads, as fig7a).
+    std::uint64_t head = 0;
+    auto st = amo_read(t, l.off_chain(slot), &head);
+    if (st != rdma::OpStatus::ok) return st;
+    while (head != 0) {
+      const auto idx = static_cast<std::size_t>(head - 1);
+      std::uint64_t k = 0;
+      st = amo_read(t, l.off_heap(idx), &k);
+      if (st != rdma::OpStatus::ok) return st;
+      if (k == key) {
+        *cell_off = l.off_heap(idx);
+        return rdma::OpStatus::ok;
+      }
+      if (claim && k == kTombstone) {  // reclaim an erased chain cell
+        std::uint64_t p2 = 0;
+        st = amo_cas(t, l.off_heap(idx), kTombstone, key, &p2);
+        if (st != rdma::OpStatus::ok) return st;
+        if (p2 == kTombstone || p2 == key) {
+          *cell_off = l.off_heap(idx);
+          return rdma::OpStatus::ok;
+        }
+      }
+      st = amo_read(t, l.off_cell_next(idx), &head);
+      if (st != rdma::OpStatus::ok) return st;
+    }
+    if (!claim) return rdma::OpStatus::ok;  // exhausted: miss
+
+    // Fresh overflow insert: acquire a cell, publish it fully formed
+    // (version already even and nonzero, value in place), then link it at
+    // the chain head — reachable implies readable, no seqlock pass needed.
+    const std::uint64_t one = 1;
+    std::uint64_t idx = 0;
+    auto freq = win_.rfetch_and_op(&one, &idx, Elem::u64, RedOp::sum, t,
+                                   l.off_next_free());
+    st = wait_req(freq);
+    if (st != rdma::OpStatus::ok) return st;
+    FOMPI_REQUIRE(idx < l.heap_slots, ErrClass::no_mem,
+                  "kv shard overflow heap exhausted");
+    const std::uint64_t cell[3] = {key, 2, value};
+    auto preq =
+        win_.rput(cell, 24, t, l.off_heap(static_cast<std::size_t>(idx)));
+    st = wait_req(preq);  // cell words complete before the link lands
+    if (st != rdma::OpStatus::ok) return st;
+    while (true) {
+      std::uint64_t chead = 0;
+      st = amo_read(t, l.off_chain(slot), &chead);
+      if (st != rdma::OpStatus::ok) return st;
+      auto nreq = win_.rput(&chead, 8, t,
+                            l.off_cell_next(static_cast<std::size_t>(idx)));
+      st = wait_req(nreq);
+      if (st != rdma::OpStatus::ok) return st;
+      std::uint64_t prev = 0;
+      st = amo_cas(t, l.off_chain(slot), chead, idx + 1, &prev);
+      if (st != rdma::OpStatus::ok) return st;
+      if (prev == chead) break;
+      bo.pause();
+      fabric_->yield_check();
+    }
+    *cell_off = l.off_heap(static_cast<std::size_t>(idx));
+    *fresh_insert = true;
+    return rdma::OpStatus::ok;
+  }
+}
+
+// --- region-level ops --------------------------------------------------------
+
+rdma::OpStatus KvStore::read_region(int t, const BucketLayout& l,
+                                    std::uint64_t key, std::uint64_t* value,
+                                    bool* found) {
+  *found = false;
+  *value = 0;
+  std::size_t cell = 0;
+  bool fresh = false;
+  const auto st = locate(t, l, key, /*claim=*/false, 0, &cell, &fresh);
+  if (st != rdma::OpStatus::ok || cell == 0) return st;
+  return seq_read(t, cell, key, value, found);
+}
+
+rdma::OpStatus KvStore::write_region(int t, int shard, bool replica,
+                                     std::uint64_t key, std::uint64_t value,
+                                     bool is_erase) {
+  std::size_t cell = 0;
+  bool fresh = false;
+  const auto st =
+      locate(t, layout_for(shard, replica), key, /*claim=*/!is_erase, value,
+             &cell, &fresh);
+  if (st != rdma::OpStatus::ok) return st;
+  if (cell == 0) return rdma::OpStatus::ok;  // erase of an absent key
+  if (fresh) {  // already published whole; just invalidate caches
+    return amo_add(t, epoch_off(shard, replica), 1);
+  }
+  return seq_write(t, shard, replica, cell, is_erase ? kTombstone : value);
+}
+
+// --- client ops --------------------------------------------------------------
+
+namespace {
+void require_user_key(std::uint64_t key) {
+  FOMPI_REQUIRE(key != 0 && key != kTombstone, ErrClass::arg,
+                "kv keys must be nonzero and not the tombstone");
+}
+}  // namespace
+
+rdma::OpStatus KvStore::put(std::uint64_t key, std::uint64_t value) {
+  require_user_key(key);
+  ++stats_.puts;
+  const int shard = shard_of(key);
+  if (!degraded_[static_cast<std::size_t>(shard)] &&
+      !win_.peer_alive(owner_of(shard))) {
+    fail_over(shard);
+  }
+  if (degraded_[static_cast<std::size_t>(shard)]) {
+    const int rep = replica_of(shard);
+    if (!win_.peer_alive(rep)) return rdma::OpStatus::peer_dead;
+    return write_region(rep, shard, /*replica=*/true, key, value, false);
+  }
+  auto st = write_region(owner_of(shard), shard, false, key, value, false);
+  if (st == rdma::OpStatus::peer_dead) {
+    ++stats_.peer_dead_ops;
+    fail_over(shard);
+    const int rep = replica_of(shard);
+    if (!win_.peer_alive(rep)) return rdma::OpStatus::peer_dead;
+    return write_region(rep, shard, true, key, value, false);
+  }
+  if (st != rdma::OpStatus::ok || !cfg_.replicate) return st;
+  const auto rst =
+      write_region(replica_of(shard), shard, true, key, value, false);
+  if (rst == rdma::OpStatus::peer_dead) {
+    ++stats_.peer_dead_ops;  // primary holds the write: absorbed
+    return rdma::OpStatus::ok;
+  }
+  return rst;
+}
+
+rdma::OpStatus KvStore::erase(std::uint64_t key) {
+  require_user_key(key);
+  ++stats_.erases;
+  const int shard = shard_of(key);
+  if (!degraded_[static_cast<std::size_t>(shard)] &&
+      !win_.peer_alive(owner_of(shard))) {
+    fail_over(shard);
+  }
+  if (degraded_[static_cast<std::size_t>(shard)]) {
+    const int rep = replica_of(shard);
+    if (!win_.peer_alive(rep)) return rdma::OpStatus::peer_dead;
+    return write_region(rep, shard, true, key, 0, /*is_erase=*/true);
+  }
+  auto st = write_region(owner_of(shard), shard, false, key, 0, true);
+  if (st == rdma::OpStatus::peer_dead) {
+    ++stats_.peer_dead_ops;
+    fail_over(shard);
+    const int rep = replica_of(shard);
+    if (!win_.peer_alive(rep)) return rdma::OpStatus::peer_dead;
+    return write_region(rep, shard, true, key, 0, true);
+  }
+  if (st != rdma::OpStatus::ok || !cfg_.replicate) return st;
+  const auto rst = write_region(replica_of(shard), shard, true, key, 0, true);
+  if (rst == rdma::OpStatus::peer_dead) {
+    ++stats_.peer_dead_ops;
+    return rdma::OpStatus::ok;
+  }
+  return rst;
+}
+
+rdma::OpStatus KvStore::get(std::uint64_t key, std::uint64_t* value,
+                            bool* found) {
+  require_user_key(key);
+  ++stats_.gets;
+  *found = false;
+  *value = 0;
+  const int shard = shard_of(key);
+  if (!degraded_[static_cast<std::size_t>(shard)] &&
+      !win_.peer_alive(owner_of(shard))) {
+    fail_over(shard);
+  }
+  const bool deg = degraded_[static_cast<std::size_t>(shard)];
+  const int t = deg ? replica_of(shard) : owner_of(shard);
+  if (deg && !win_.peer_alive(t)) return rdma::OpStatus::peer_dead;
+
+  if (cfg_.client_cache && !deg) {
+    std::uint64_t ep = 0;
+    const auto est = amo_read(t, epoch_off(shard, false), &ep);
+    if (est == rdma::OpStatus::ok) {
+      auto& entries = cache_[static_cast<std::size_t>(shard)];
+      if (ep == epoch_seen_[static_cast<std::size_t>(shard)]) {
+        const auto it = entries.find(key);
+        if (it != entries.end()) {
+          *value = it->second;
+          *found = true;
+          ++stats_.cache_hits;
+          count(Op::kv_cache_hit);
+          return rdma::OpStatus::ok;
+        }
+      } else {  // a writer bumped the epoch: drop the whole shard's view
+        entries.clear();
+        epoch_seen_[static_cast<std::size_t>(shard)] = ep;
+      }
+    }
+    ++stats_.cache_misses;
+    count(Op::kv_cache_miss);
+  }
+
+  auto st = read_region(t, layout_for(shard, deg), key, value, found);
+  if (st == rdma::OpStatus::peer_dead && !deg) {
+    ++stats_.peer_dead_ops;
+    fail_over(shard);
+    const int rep = replica_of(shard);
+    if (!win_.peer_alive(rep)) return rdma::OpStatus::peer_dead;
+    st = read_region(rep, layout_for(shard, true), key, value, found);
+  }
+  if (st == rdma::OpStatus::ok && *found && cfg_.client_cache && !deg &&
+      !degraded_[static_cast<std::size_t>(shard)]) {
+    cache_[static_cast<std::size_t>(shard)][key] = *value;
+  }
+  return st;
+}
+
+// --- closed-loop client fleet -------------------------------------------------
+//
+// Each fiber pulls ops off a shared per-rank cursor. The dominant path — a
+// cache-validating get that hits, or a top-cell versioned read — runs as an
+// explicit-handle AMO pipeline (the fiber parks on each in-flight word),
+// so one rank keeps `fibers` ops in flight. Rare paths (chain walks,
+// seqlock retries, writes, degraded routing) fall back to the blocking
+// client ops: correct, just momentarily unoverlapped.
+
+struct KvStore::ClientFiber final : fabric::progress::Fiber {
+  struct FleetOp {
+    std::uint64_t key;
+    bool is_read;
+  };
+
+  ClientFiber(KvStore& kv, const std::vector<FleetOp>& ops,
+              std::size_t* cursor, FleetResult* res)
+      : kv(kv), ops(ops), cursor(cursor), res(res) {}
+
+  void record(bool is_read, std::uint64_t t0) {
+    const std::uint64_t dur = now_ns() - t0;
+    if (is_read) {
+      ++res->reads;
+      res->read_hist.add(dur);
+    } else {
+      ++res->writes;
+      res->write_hist.add(dur);
+    }
+    trace::emit(trace::EvClass::kv, trace::EvPhase::issue, target,
+                ops[at].key, dur);
+  }
+
+  void blocking_op(std::uint64_t t0) {
+    std::uint64_t v = 0;
+    bool found = false;
+    const auto st = ops[at].is_read
+                        ? kv.get(ops[at].key, &v, &found)
+                        : kv.put(ops[at].key, ops[at].key * 31 + 7);
+    if (st == rdma::OpStatus::peer_dead) ++res->peer_dead;
+    record(ops[at].is_read, t0);
+  }
+
+  void step(fabric::progress::Scheduler& s) override {
+    FOMPI_FIBER_BEGIN();
+    while (*cursor < ops.size()) {
+      at = (*cursor)++;
+      t0 = now_ns();
+      shard = kv.shard_of(ops[at].key);
+      target = kv.owner_of(shard);  // trace label even on the slow path
+      if (!ops[at].is_read || kv.degraded_[static_cast<std::size_t>(shard)] ||
+          !kv.win_.peer_alive(target)) {
+        blocking_op(t0);  // writes + degraded routing: slow path
+        continue;
+      }
+      l = kv.layout_for(shard, false);
+      ++kv.stats_.gets;
+      if (kv.cfg_.client_cache) {
+        // Pipelined cache validation: one awaited epoch AMO.
+        req = kv.win_.rfetch_and_op(nullptr, &ep, Elem::u64, RedOp::no_op,
+                                    target, kv.epoch_off(shard, false));
+        FOMPI_FIBER_AWAIT(s, req.handles()[0]);
+        req.dismiss();
+        if (wake_status() != rdma::OpStatus::ok) {
+          --kv.stats_.gets;  // hand the whole op to the blocking path
+          blocking_op(t0);
+          continue;
+        }
+        if (ep == kv.epoch_seen_[static_cast<std::size_t>(shard)]) {
+          if (cache_lookup()) {
+            record(true, t0);
+            continue;
+          }
+        } else {
+          kv.cache_[static_cast<std::size_t>(shard)].clear();
+          kv.epoch_seen_[static_cast<std::size_t>(shard)] = ep;
+        }
+        ++kv.stats_.cache_misses;
+        count(Op::kv_cache_miss);
+      }
+      // Pipelined top-cell versioned read.
+      req = kv.win_.rfetch_and_op(nullptr, &top, Elem::u64, RedOp::no_op,
+                                  target, l.off_table(kv.slot_of(ops[at].key)));
+      FOMPI_FIBER_AWAIT(s, req.handles()[0]);
+      req.dismiss();
+      if (wake_status() != rdma::OpStatus::ok) {
+        fallback_whole_read(t0);
+        continue;
+      }
+      if (top == 0) {  // empty slot: a miss, complete
+        record(true, t0);
+        continue;
+      }
+      if (top != ops[at].key) {  // collision chain: rare, blocking walk
+        fallback_located_read(t0);
+        continue;
+      }
+      cell = l.off_table(kv.slot_of(ops[at].key));
+      req = kv.win_.rfetch_and_op(nullptr, &v1, Elem::u64, RedOp::no_op,
+                                  target, cell + kVerOff);
+      FOMPI_FIBER_AWAIT(s, req.handles()[0]);
+      req.dismiss();
+      if (wake_status() != rdma::OpStatus::ok || (v1 & 1) != 0) {
+        fallback_located_read(t0);
+        continue;
+      }
+      if (v1 == 0) {  // claimed, not linearized: a legal miss
+        record(true, t0);
+        continue;
+      }
+      req = kv.win_.rfetch_and_op(nullptr, &kw, Elem::u64, RedOp::no_op,
+                                  target, cell);
+      FOMPI_FIBER_AWAIT(s, req.handles()[0]);
+      req.dismiss();
+      req = kv.win_.rfetch_and_op(nullptr, &val, Elem::u64, RedOp::no_op,
+                                  target, cell + kValOff);
+      FOMPI_FIBER_AWAIT(s, req.handles()[0]);
+      req.dismiss();
+      req = kv.win_.rfetch_and_op(nullptr, &v2, Elem::u64, RedOp::no_op,
+                                  target, cell + kVerOff);
+      FOMPI_FIBER_AWAIT(s, req.handles()[0]);
+      req.dismiss();
+      if (wake_status() != rdma::OpStatus::ok || v1 != v2) {
+        ++kv.stats_.read_retries;  // torn snapshot: resolve blocking
+        count(Op::kv_read_retry);
+        fallback_located_read(t0);
+        continue;
+      }
+      if (kw == ops[at].key && kv.cfg_.client_cache &&
+          !kv.degraded_[static_cast<std::size_t>(shard)]) {
+        kv.cache_[static_cast<std::size_t>(shard)][ops[at].key] = val;
+      }
+      record(true, t0);
+    }
+    FOMPI_FIBER_END();
+  }
+
+  bool cache_lookup() {
+    auto& entries = kv.cache_[static_cast<std::size_t>(shard)];
+    const auto it = entries.find(ops[at].key);
+    if (it == entries.end()) return false;
+    ++kv.stats_.cache_hits;
+    ++res->cache_hits;
+    count(Op::kv_cache_hit);
+    return true;
+  }
+
+  void fallback_whole_read(std::uint64_t t0_) {
+    --kv.stats_.gets;
+    --kv.stats_.cache_misses;  // get() re-counts the full op
+    blocking_op(t0_);
+  }
+
+  void fallback_located_read(std::uint64_t t0_) {
+    std::uint64_t v = 0;
+    bool found = false;
+    const auto st = kv.read_region(target, l, ops[at].key, &v, &found);
+    if (st == rdma::OpStatus::peer_dead) {
+      ++res->peer_dead;
+      kv.fail_over(shard);
+    } else if (st == rdma::OpStatus::ok && found && kv.cfg_.client_cache &&
+               !kv.degraded_[static_cast<std::size_t>(shard)]) {
+      kv.cache_[static_cast<std::size_t>(shard)][ops[at].key] = v;
+    }
+    record(true, t0_);
+  }
+
+  KvStore& kv;
+  const std::vector<FleetOp>& ops;
+  std::size_t* cursor;
+  FleetResult* res;
+  std::size_t at = 0, cell = 0;
+  std::uint64_t t0 = 0, ep = 0, top = 0, v1 = 0, v2 = 0, kw = 0, val = 0;
+  int shard = 0, target = 0;
+  BucketLayout l;
+  core::RmaRequest req;
+};
+
+KvStore::FleetResult KvStore::run_fleet(fabric::RankCtx& ctx,
+                                        const FleetConfig& fc) {
+  FOMPI_REQUIRE(fc.ops_per_rank >= 0 && fc.fibers >= 1 && fc.keyspace >= 1,
+                ErrClass::arg, "bad fleet config");
+  // The op stream is an exact function of (seed, rank): the chaos gates
+  // compare fleet counter totals across runs.
+  Zipf zipf(fc.keyspace, fc.zipf_s,
+            fc.seed * 0x9e3779b9u + static_cast<std::uint64_t>(ctx.rank()));
+  Rng coin(fc.seed ^ (0xc0ffee + static_cast<std::uint64_t>(ctx.rank())));
+  std::vector<ClientFiber::FleetOp> ops(
+      static_cast<std::size_t>(fc.ops_per_rank));
+  for (auto& op : ops) {
+    op.key = zipf.next() + 1;  // keys are 1-based (0 is reserved-empty)
+    op.is_read = coin.uniform() < fc.read_ratio;
+  }
+  FleetResult res;
+  fabric::progress::Scheduler sched(*fabric_, rank_);
+  std::size_t cursor = 0;
+  const std::size_t pool = std::min<std::size_t>(
+      static_cast<std::size_t>(fc.fibers),
+      std::max<std::size_t>(1, ops.size()));
+  for (std::size_t i = 0; i < pool; ++i) {
+    sched.spawn<ClientFiber>(*this, ops, &cursor, &res);
+  }
+  sched.run();
+  return res;
+}
+
+}  // namespace fompi::kv

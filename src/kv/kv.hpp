@@ -1,0 +1,197 @@
+// Sharded RDMA key-value service on MPI-3 one-sided (DESIGN.md §12).
+//
+// The fig7a hashtable grown into a service: 64-bit keys hash to shards,
+// shards map to owner ranks through a registered routing table that every
+// client fetches ONCE with a one-sided get at attach time (the ROLEX
+// MR-fetch idiom) — after that no two-sided traffic exists on any data
+// path. Each shard region reuses the CAS-bucket scheme (kv/bucket.hpp)
+// with widened cells {key, version, value(, next)}:
+//
+//   * get  — a one-sided versioned read: the 8-byte version word is a
+//     seqlock over RMA (odd = write in progress). The reader atomically
+//     reads version / value / version and retries on mismatch; version 0
+//     means the insert has not linearized yet and reads as a miss.
+//   * put / erase — remote-CAS chains: claim the key word (CAS), lock the
+//     cell (CAS version even -> odd), write the value (accumulate-replace,
+//     atomic), release (version + 2), then bump the shard's version-epoch
+//     word with a single AMO. New keys on the overflow path reuse the
+//     hashtable's fetch_add + link-at-head protocol; erase tombstones the
+//     key word so the slot can be reclaimed.
+//   * client cache — per-shard epoch-stamped: all cached entries of a
+//     shard are valid exactly while the shard's epoch word is unchanged,
+//     so a cache hit costs ONE remote AMO (the epoch check) instead of the
+//     uncached read's six.
+//   * replication / failover — writes fan out to a replica region on rank
+//     (owner+1)%p; a client observing the owner dead (fail-stop liveness
+//     or a typed peer_dead status) marks the shard degraded and routes to
+//     the replica. Degraded reads bypass the cache (primary-stamped
+//     epochs cannot be validated against the replica), which is the
+//     modeled SLO degradation bench_kv measures.
+//
+// The closed-loop fleet (run_fleet) drives this with Zipfian keys from
+// fibers on the PR 8 progress engine — each client rank keeps `fibers`
+// ops in flight, hot-path reads/writes fully pipelined (awaits), rare slow
+// paths (chain walks, new-cell links, failover) taken blocking — and
+// records per-op-class latencies into trace LatencyHistos.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/window.hpp"
+#include "kv/bucket.hpp"
+#include "trace/trace.hpp"
+
+namespace fompi::kv {
+
+/// Key reserved as the erase tombstone; user keys must be nonzero and
+/// different from it.
+inline constexpr std::uint64_t kTombstone = ~std::uint64_t{0};
+
+struct KvConfig {
+  int shards = 8;                ///< total shards, round-robin over ranks
+  std::size_t table_slots = 64;  ///< top cells per shard
+  std::size_t heap_slots = 256;  ///< overflow cells per shard
+  bool replicate = true;         ///< write-through replica at (owner+1)%p
+  bool client_cache = true;      ///< epoch-stamped read cache
+};
+
+/// Per-client (per-rank) operation statistics; mirrored into the global
+/// Op counters (kv_cache_hit / kv_cache_miss / kv_read_retry / kv_failover).
+struct KvStats {
+  std::uint64_t gets = 0, puts = 0, erases = 0;
+  std::uint64_t cache_hits = 0, cache_misses = 0;
+  std::uint64_t read_retries = 0;   ///< seqlock validate/locked rereads
+  std::uint64_t failovers = 0;      ///< shard reroutes to the replica
+  std::uint64_t peer_dead_ops = 0;  ///< typed peer_dead statuses absorbed
+};
+
+class KvStore {
+ public:
+  /// Collective: allocates the sharded window, rank 0 publishes the
+  /// routing table, every rank fetches it one-sided.
+  KvStore(fabric::RankCtx& ctx, KvConfig cfg = {});
+  /// Collective; do NOT call after a rank kill (survivors cannot meet the
+  /// barrier) — mirror the fault tests and let the window unwind.
+  void destroy(fabric::RankCtx& ctx);
+
+  // --- blocking one-sided client ops --------------------------------------
+  /// Typed statuses: ok, or the first failure observed (peer_dead when
+  /// both the owner and — if enabled — the replica are unreachable).
+  rdma::OpStatus put(std::uint64_t key, std::uint64_t value);
+  rdma::OpStatus erase(std::uint64_t key);
+  /// Versioned one-sided read; `*found` false on miss. Serves from the
+  /// epoch-validated cache when possible.
+  rdma::OpStatus get(std::uint64_t key, std::uint64_t* value, bool* found);
+
+  // --- routing / introspection ---------------------------------------------
+  int shard_of(std::uint64_t key) const;
+  int owner_of(int shard) const;    ///< from the fetched routing table
+  int replica_of(int shard) const;
+  bool degraded(int shard) const {
+    return degraded_[static_cast<std::size_t>(shard)];
+  }
+  /// Fail-stop liveness view of a rank (forwarded from the window).
+  bool peer_alive(int rank) const { return win_.peer_alive(rank); }
+  /// Typed one-sided probe of a shard primary's epoch word: ok while the
+  /// owner serves, peer_dead once it was killed (confinement assertions).
+  rdma::OpStatus probe_owner(int shard);
+  const KvStats& stats() const noexcept { return stats_; }
+  const KvConfig& config() const noexcept { return cfg_; }
+  /// One-sided read of a shard's version-epoch word (owner or replica copy).
+  std::uint64_t shard_epoch(int shard, bool replica = false);
+  /// Keys currently cached for `shard` on this client.
+  std::size_t cached_entries(int shard) const;
+
+  // --- closed-loop DES client fleet ---------------------------------------
+  struct FleetConfig {
+    int ops_per_rank = 1024;
+    int fibers = 8;            ///< concurrent client fibers per rank
+    double read_ratio = 0.95;  ///< fraction of ops that are gets
+    std::uint64_t keyspace = 256;  ///< keys drawn from [1, keyspace]
+    double zipf_s = 0.9;       ///< key popularity skew
+    std::uint64_t seed = 1;
+  };
+  struct FleetResult {
+    trace::LatencyHisto read_hist;   ///< ns per completed get
+    trace::LatencyHisto write_hist;  ///< ns per completed put
+    std::uint64_t reads = 0, writes = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t peer_dead = 0;  ///< typed statuses absorbed by failover
+  };
+  /// Runs this rank's share of the fleet: `fibers` client fibers pull a
+  /// deterministic (seed- and rank-stamped) Zipfian op stream off a shared
+  /// cursor and pipeline gets/puts on the progress engine. Latencies are
+  /// recorded per op class and, when a TraceSession is active, emitted as
+  /// EvClass::kv events. Not collective; callers barrier around it.
+  FleetResult run_fleet(fabric::RankCtx& ctx, const FleetConfig& fc);
+
+ private:
+  struct ClientFiber;
+  friend struct ClientFiber;
+
+  // Window layout: [routing table][primary shard regions][replica regions].
+  std::size_t routing_bytes() const;
+  std::size_t shard_region_bytes() const;
+  /// Region base of `shard`'s primary (replica=false) or replica copy.
+  std::size_t region_base(int shard, bool replica) const;
+  std::size_t epoch_off(int shard, bool replica) const {
+    return region_base(shard, replica);
+  }
+  BucketLayout layout_for(int shard, bool replica) const;
+  std::size_t slot_of(std::uint64_t key) const;
+
+  // Typed-status AMO helpers (request-based, so faults never raise).
+  rdma::OpStatus wait_req(core::RmaRequest& req);
+  rdma::OpStatus amo_read(int t, std::size_t off, std::uint64_t* v);
+  rdma::OpStatus amo_cas(int t, std::size_t off, std::uint64_t expect,
+                         std::uint64_t desired, std::uint64_t* prev);
+  rdma::OpStatus amo_add(int t, std::size_t off, std::uint64_t add);
+  rdma::OpStatus amo_write(int t, std::size_t off, std::uint64_t v);
+
+  /// Locates key's cell in the region: *cell_off = byte offset of its
+  /// {key, version, value} words, 0 if absent. `claim` makes it claim a
+  /// cell for the key (top slot, tombstone reclaim, or fresh overflow
+  /// cell); *fresh_insert reports that the cell was newly linked with the
+  /// value already published (no seqlock update needed).
+  rdma::OpStatus locate(int t, const BucketLayout& l, std::uint64_t key,
+                        bool claim, std::uint64_t value,
+                        std::size_t* cell_off, bool* fresh_insert);
+  /// Seqlock write of `value` into the located cell + epoch bump.
+  rdma::OpStatus seq_write(int t, int shard, bool replica,
+                           std::size_t cell_off, std::uint64_t value);
+  /// Seqlock read: *found/*value; retries odd/changed versions.
+  rdma::OpStatus seq_read(int t, std::size_t cell_off, std::uint64_t key,
+                          std::uint64_t* value, bool* found);
+  /// Full uncached read from one region (locate + seq_read).
+  rdma::OpStatus read_region(int t, const BucketLayout& l, std::uint64_t key,
+                             std::uint64_t* value, bool* found);
+  /// put/erase applied to one region (primary or replica copy).
+  rdma::OpStatus write_region(int t, int shard, bool replica,
+                              std::uint64_t key, std::uint64_t value,
+                              bool is_erase);
+  /// Marks `shard` degraded (first peer_dead / liveness miss on its owner).
+  void fail_over(int shard);
+  /// Dead-writer seqlock recovery: force-release a version word left odd
+  /// by a killed rank (only attempted once a death was observed).
+  void maybe_revoke(int t, std::size_t cell_off, std::uint64_t stuck_ver);
+  bool any_peer_dead() const;
+
+  KvConfig cfg_;
+  int nranks_ = 0;
+  int rank_ = -1;
+  int shards_per_rank_ = 0;
+  core::Win win_;
+  fabric::Fabric* fabric_ = nullptr;
+  std::vector<std::uint64_t> routing_;  ///< fetched once: owner | replica<<32
+  std::vector<bool> degraded_;          ///< per shard, client-local view
+
+  // Epoch-stamped cache: entries of shard s are valid iff the shard's
+  // current epoch equals epoch_seen_[s].
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> cache_;
+  std::vector<std::uint64_t> epoch_seen_;
+  KvStats stats_;
+};
+
+}  // namespace fompi::kv

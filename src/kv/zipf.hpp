@@ -1,0 +1,68 @@
+// Deterministic Zipfian key sampler (YCSB-style inverse transform).
+//
+// The closed-loop KV client fleet draws keys from a Zipf(s) distribution
+// over [0, n): rank 0 is the hottest key, frequencies fall off as 1/r^s.
+// Built on the repo's xoshiro256** Rng, so the stream is an exact function
+// of (n, s, seed) — the chaos-determinism gates depend on that. The zeta
+// normalizer is computed once at construction (O(n), n is the keyspace of
+// a simulated client, not the cluster's).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fompi::kv {
+
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double s, std::uint64_t seed)
+      : n_(n), s_(s), rng_(seed) {
+    FOMPI_REQUIRE(n >= 1, ErrClass::arg, "zipf needs a nonempty keyspace");
+    // YCSB's inverse-transform fit needs s in [0, 1); 0.99 is the YCSB
+    // default and the skew used by the SLO harness.
+    FOMPI_REQUIRE(s >= 0.0 && s < 1.0, ErrClass::arg,
+                  "zipf exponent must be in [0, 1)");
+    for (std::uint64_t i = 1; i <= n_; ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i), s_);
+    }
+    theta_ = s_;
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2() / zetan_);
+  }
+
+  /// Next sample in [0, n): 0 is the hottest rank.
+  std::uint64_t next() {
+    if (s_ == 0.0) return rng_.below(n_);  // uniform degenerate case
+    const double u = rng_.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto r = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return r >= n_ ? n_ - 1 : r;
+  }
+
+  std::uint64_t keyspace() const noexcept { return n_; }
+
+  /// Probability mass of rank `r` under the fitted distribution (used by
+  /// the closed-form shard-throughput model, not the sampler).
+  double mass(std::uint64_t r) const {
+    return 1.0 / std::pow(static_cast<double>(r + 1), s_) / zetan_;
+  }
+
+ private:
+  double zeta2() const { return 1.0 + std::pow(0.5, s_); }
+
+  std::uint64_t n_;
+  double s_;
+  double zetan_ = 0.0;
+  double theta_ = 0.0, alpha_ = 0.0, eta_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace fompi::kv

@@ -1,0 +1,55 @@
+#include "simtime/sim_kv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fompi::sim {
+
+double kv_read_us(const KvParams& p, bool degraded) {
+  const double cached = p.cached_amos * p.amo_us;
+  const double uncached = p.uncached_amos * p.amo_us;
+  const double h = degraded ? 0.0 : p.hit_rate;  // degraded bypasses cache
+  return h * cached + (1.0 - h) * uncached;
+}
+
+double kv_read_p99_us(const KvParams& p, bool degraded) {
+  const double miss_mass = degraded ? 1.0 : 1.0 - p.hit_rate;
+  if (miss_mass >= 0.01) return p.uncached_amos * p.amo_us;
+  return p.cached_amos * p.amo_us;
+}
+
+double kv_put_us(const KvParams& p, bool degraded) {
+  const int regions = (p.replicate && !degraded) ? 2 : 1;
+  return regions * p.put_amos * p.amo_us;
+}
+
+double kv_hot_shard_mass(const KvParams& p) {
+  // Rank-1 mass of a Zipf(s) over the shards: 1 / H(shards, s). s = 0
+  // degenerates to the uniform 1/shards.
+  double h = 0.0;
+  for (int r = 1; r <= p.shards; ++r) {
+    h += 1.0 / std::pow(static_cast<double>(r), p.zipf_s);
+  }
+  return 1.0 / h;
+}
+
+double simulate_kv_throughput_mops(int clients, const KvParams& p) {
+  const double mean_op_us = p.read_ratio * kv_read_us(p) +
+                            (1.0 - p.read_ratio) * kv_put_us(p);
+  const double offered = clients * p.fibers / mean_op_us;  // Mops/s
+
+  // The hottest shard's NIC serves its share of every op's AMOs; hot-key
+  // replica reads split the read load across two regions.
+  double phi = kv_hot_shard_mass(p);
+  if (p.replicate) phi *= 1.0 - p.read_ratio / 2.0;
+  const double amos_per_op =
+      p.read_ratio * ((1.0 - p.hit_rate) * p.uncached_amos +
+                      p.hit_rate * p.cached_amos) +
+      (1.0 - p.read_ratio) * p.put_amos;
+  const double serve_mops = 1.0 / (p.amo_service_us * amos_per_op);
+  const double hot_cap = serve_mops / phi;
+
+  return std::min(offered, hot_cap);
+}
+
+}  // namespace fompi::sim

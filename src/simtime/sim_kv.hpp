@@ -1,0 +1,69 @@
+// KV-service SLO models (DESIGN.md §12).
+//
+// The thread-rank runtime drives the real KV store (src/kv) at up to a
+// few dozen client ranks; these closed forms extend the serving-workload
+// curves to cluster scale. As with the figure models, the supported claims
+// are about curve *shape* — cache leverage, tail behavior under failover,
+// where a skewed workload saturates on the hottest shard — not absolute
+// numbers. Calibration constants are documented inline.
+#pragma once
+
+#include <cstdint>
+
+namespace fompi::sim {
+
+struct KvParams {
+  /// One inter-node AMO round trip (Gemini FADD/CSWAP latency; matches the
+  /// inter_op latency the figure benches charge).
+  double amo_us = 2.4;
+  /// Remote words touched by a cache-validated hit: the shard epoch check.
+  int cached_amos = 1;
+  /// Remote words of the full versioned read: epoch + top key + seqlock
+  /// {v1, key, value, v2} snapshot.
+  int uncached_amos = 6;
+  /// Remote ops of a put against one region: top CAS + lock CAS + value
+  /// write + release + epoch bump (+ the located read).
+  int put_amos = 6;
+  bool replicate = true;     ///< puts fan out to the replica region (x2)
+  double hit_rate = 0.80;    ///< healthy-mode cache hit fraction
+  double read_ratio = 0.95;  ///< fraction of client ops that are gets
+  int fibers = 8;            ///< in-flight ops per closed-loop client rank
+  int shards = 8;
+  double zipf_s = 0.9;       ///< key->shard popularity skew
+  /// NIC-side occupancy per served AMO (the Gemini per-op overhead): one
+  /// shard owner sustains 1/0.416 ~ 2.4 M served AMOs/s.
+  double amo_service_us = 0.416;
+};
+
+/// Mean modeled get latency (us). Degraded mode (owner dead, replica
+/// serving) bypasses the client cache, so every read pays the full
+/// versioned-read cost — the SLO degradation bench_kv measures.
+double kv_read_us(const KvParams& p, bool degraded = false);
+
+/// Modeled p99 get latency (us): the uncached versioned read whenever the
+/// miss mass reaches the tail (1 - hit_rate >= 1%), i.e. always, except
+/// for a pathologically perfect cache; degraded mode pins the whole
+/// distribution at the uncached cost.
+double kv_read_p99_us(const KvParams& p, bool degraded = false);
+
+/// Mean modeled put latency (us): per-region CAS-chain cost, doubled by
+/// write-through replication while the shard is healthy (degraded mode
+/// writes the surviving replica only).
+double kv_put_us(const KvParams& p, bool degraded = false);
+
+/// Probability mass of the hottest shard under the Zipf(s) key popularity
+/// folded onto `shards` (rank-1 mass of a Zipf over the shards).
+double kv_hot_shard_mass(const KvParams& p);
+
+/// Closed-loop fleet throughput (M ops/s) at `clients` ranks:
+///
+///   offered = clients * fibers / mean_op_us        (pipelined clients)
+///   hot cap = serve_rate / phi                      (hottest shard NIC)
+///   T(p)    = min(offered, hot cap)
+///
+/// with phi the hottest shard's mass — halved for reads when replication
+/// is on (hot-key replica reads split the load). Monotone nondecreasing
+/// and saturating in `clients`; replication raises the plateau.
+double simulate_kv_throughput_mops(int clients, const KvParams& p = {});
+
+}  // namespace fompi::sim

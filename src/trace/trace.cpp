@@ -32,6 +32,7 @@ const char* to_string(EvClass cls) noexcept {
     case EvClass::adapt:         return "adapt";
     case EvClass::fiber:         return "fiber";
     case EvClass::notify_post:   return "notify_post";
+    case EvClass::kv:            return "kv";
     case EvClass::kCount:        break;
   }
   return "unknown";

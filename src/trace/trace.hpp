@@ -71,6 +71,7 @@ enum class EvClass : std::uint8_t {
   adapt,          ///< adaptive tuner moved a threshold (arg = new value)
   fiber,          ///< fiber resumed (begin) / finished (complete); arg = id
   notify_post,    ///< put-with-notification record posted (arg = tag/seq)
+  kv,             ///< KV service client op (arg = key, dur = op latency)
   kCount,
 };
 

@@ -61,7 +61,8 @@ TEST_P(HtBackends, CollisionsSpillToOverflowChain) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, HtBackends,
                          ::testing::Values(HtBackend::rma, HtBackend::pgas,
-                                           HtBackend::p2p));
+                                           HtBackend::p2p,
+                                           HtBackend::rma_fiber));
 
 TEST(Hashtable, ContainsFindsAllInsertedKeys) {
   fabric::run_ranks(4, [](RankCtx& ctx) {
@@ -125,6 +126,69 @@ TEST(Hashtable, ZeroKeyRejected) {
     // Note: rank 1 skips the collective too (the throw is pre-comm).
     ht.destroy(ctx);
   });
+}
+
+TEST(Hashtable, FiberBackendAnswersOneSidedLookups) {
+  // rma_fiber contains()/batch_contains(): remote lookups answered fully
+  // one-sided, pipelined through LookupFiber.
+  fabric::run_ranks(4, [](RankCtx& ctx) {
+    DistHashtable ht(ctx, HtBackend::rma_fiber, 8, 1024);  // force chains
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 60; ++i) {
+      keys.push_back(static_cast<std::uint64_t>(ctx.rank()) * 777 + i + 1);
+    }
+    ht.batch_insert(ctx, keys);
+    std::vector<std::uint64_t> probes = keys;
+    probes.push_back(0xdead0001);  // one certain miss
+    const auto hits = ht.batch_contains(probes);
+    ASSERT_EQ(hits.size(), probes.size());
+    for (std::size_t i = 0; i + 1 < probes.size(); ++i) {
+      EXPECT_TRUE(hits[i]) << "missing key " << probes[i];
+      EXPECT_TRUE(ht.contains(probes[i]));
+    }
+    EXPECT_FALSE(hits.back());
+    ctx.barrier();
+    ht.destroy(ctx);
+  });
+}
+
+TEST(Hashtable, LookupParityAcrossBackends) {
+  // The same key set through every remote-capable backend: contains() and
+  // batch_contains() agree on hits AND misses everywhere.
+  const int p = 3;
+  std::vector<std::uint64_t> probes;
+  for (int r = 0; r < p; ++r) {
+    for (int i = 0; i < 24; ++i) {
+      probes.push_back(static_cast<std::uint64_t>(r) * 555 + i + 1);
+    }
+  }
+  for (int i = 0; i < 8; ++i) probes.push_back(0x5eed0000ull + i);  // misses
+  std::vector<std::vector<bool>> answers;
+  for (HtBackend b :
+       {HtBackend::rma, HtBackend::pgas, HtBackend::rma_fiber}) {
+    std::vector<bool> ans;
+    fabric::run_ranks(p, [&](RankCtx& ctx) {
+      DistHashtable ht(ctx, b, 16, 512);
+      std::vector<std::uint64_t> keys;
+      for (int i = 0; i < 24; ++i) {
+        keys.push_back(static_cast<std::uint64_t>(ctx.rank()) * 555 + i + 1);
+      }
+      ht.batch_insert(ctx, keys);
+      if (ctx.rank() == 0) ans = ht.batch_contains(probes);
+      ctx.barrier();
+      ht.destroy(ctx);
+    });
+    answers.push_back(std::move(ans));
+  }
+  ASSERT_EQ(answers.size(), 3u);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const bool expect_hit = i < static_cast<std::size_t>(p) * 24;
+    for (std::size_t b = 0; b < answers.size(); ++b) {
+      ASSERT_EQ(answers[b].size(), probes.size());
+      EXPECT_EQ(answers[b][i], expect_hit)
+          << "backend " << b << " disagrees on probe " << probes[i];
+    }
+  }
 }
 
 TEST(Hashtable, BackendsProduceIdenticalMembership) {

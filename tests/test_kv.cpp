@@ -1,0 +1,537 @@
+// KV service: sharded routing, versioned one-sided reads, epoch-stamped
+// client caching, the Zipfian fleet generator, seqlock coherence under a
+// concurrent writer, seeded chaos determinism, and shard-owner failover.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <vector>
+
+#include "common/instr.hpp"
+#include "common/rng.hpp"
+#include "fabric/fabric.hpp"
+#include "kv/kv.hpp"
+#include "kv/zipf.hpp"
+#include "rdma/network_model.hpp"
+
+using namespace fompi;
+using fabric::RankCtx;
+using kv::KvConfig;
+using kv::KvStore;
+using rdma::OpStatus;
+
+namespace {
+
+/// First user key > `from` whose shard is owned by `owner` under `cfg`
+/// with `p` ranks (pure function of the hash, computable without a store).
+std::uint64_t key_owned_by(const KvStore& store, int owner,
+                           std::uint64_t from = 1) {
+  for (std::uint64_t k = from;; ++k) {
+    if (store.owner_of(store.shard_of(k)) == owner) return k;
+  }
+}
+
+}  // namespace
+
+// --- basic service behaviour -------------------------------------------------
+
+TEST(Kv, PutGetEraseAcrossRanks) {
+  const int p = 4;
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    KvStore store(ctx);
+    // Every rank writes a disjoint key range; any rank reads any key.
+    for (int i = 0; i < 32; ++i) {
+      const auto k = static_cast<std::uint64_t>(ctx.rank()) * 1000 + i + 1;
+      EXPECT_EQ(store.put(k, k * 7), OpStatus::ok);
+    }
+    ctx.barrier();
+    for (int r = 0; r < p; ++r) {
+      for (int i = 0; i < 32; ++i) {
+        const auto k = static_cast<std::uint64_t>(r) * 1000 + i + 1;
+        std::uint64_t v = 0;
+        bool found = false;
+        EXPECT_EQ(store.get(k, &v, &found), OpStatus::ok);
+        EXPECT_TRUE(found) << "missing key " << k;
+        EXPECT_EQ(v, k * 7);
+      }
+    }
+    std::uint64_t v = 0;
+    bool found = true;
+    EXPECT_EQ(store.get(0xdeadbeef01, &v, &found), OpStatus::ok);
+    EXPECT_FALSE(found);
+    ctx.barrier();
+    // Erase own keys; everyone observes the misses.
+    for (int i = 0; i < 32; ++i) {
+      const auto k = static_cast<std::uint64_t>(ctx.rank()) * 1000 + i + 1;
+      EXPECT_EQ(store.erase(k), OpStatus::ok);
+    }
+    ctx.barrier();
+    for (int r = 0; r < p; ++r) {
+      const auto k = static_cast<std::uint64_t>(r) * 1000 + 1;
+      EXPECT_EQ(store.get(k, &v, &found), OpStatus::ok);
+      EXPECT_FALSE(found) << "key " << k << " survived erase";
+    }
+    ctx.barrier();
+    store.destroy(ctx);
+  });
+}
+
+TEST(Kv, OverwriteAndTombstoneReclaim) {
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    KvStore store(ctx);
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(store.put(42, 1), OpStatus::ok);
+      EXPECT_EQ(store.put(42, 2), OpStatus::ok);  // in-place seqlock update
+      std::uint64_t v = 0;
+      bool found = false;
+      EXPECT_EQ(store.get(42, &v, &found), OpStatus::ok);
+      EXPECT_TRUE(found);
+      EXPECT_EQ(v, 2u);
+      EXPECT_EQ(store.erase(42), OpStatus::ok);
+      EXPECT_EQ(store.put(42, 3), OpStatus::ok);  // reclaims the tombstone
+      EXPECT_EQ(store.get(42, &v, &found), OpStatus::ok);
+      EXPECT_TRUE(found);
+      EXPECT_EQ(v, 3u);
+    }
+    store.destroy(ctx);
+  });
+}
+
+TEST(Kv, CollisionsSpillToOverflowChains) {
+  KvConfig cfg;
+  cfg.shards = 2;
+  cfg.table_slots = 1;  // every key in a shard collides on slot 0
+  cfg.heap_slots = 256;
+  fabric::run_ranks(2, [&](RankCtx& ctx) {
+    KvStore store(ctx, cfg);
+    for (int i = 0; i < 40; ++i) {
+      const auto k = static_cast<std::uint64_t>(ctx.rank()) * 500 + i + 1;
+      EXPECT_EQ(store.put(k, k + 9), OpStatus::ok);
+    }
+    ctx.barrier();
+    for (int r = 0; r < 2; ++r) {
+      for (int i = 0; i < 40; ++i) {
+        const auto k = static_cast<std::uint64_t>(r) * 500 + i + 1;
+        std::uint64_t v = 0;
+        bool found = false;
+        EXPECT_EQ(store.get(k, &v, &found), OpStatus::ok);
+        EXPECT_TRUE(found) << "chained key " << k << " lost";
+        EXPECT_EQ(v, k + 9);
+      }
+    }
+    ctx.barrier();
+    store.destroy(ctx);
+  });
+}
+
+TEST(Kv, RoutingTableFetchMatchesAuthoritativeMap) {
+  // Every client's one-sided routing fetch must agree with the map rank 0
+  // published: owner = shard % p, replica = (owner + 1) % p.
+  const int p = 3;
+  KvConfig cfg;
+  cfg.shards = 8;
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    KvStore store(ctx, cfg);
+    for (int s = 0; s < cfg.shards; ++s) {
+      EXPECT_EQ(store.owner_of(s), s % p);
+      EXPECT_EQ(store.replica_of(s), (s % p + 1) % p);
+    }
+    store.destroy(ctx);
+  });
+}
+
+TEST(Kv, RejectsReservedKeys) {
+  fabric::run_ranks(1, [](RankCtx& ctx) {
+    KvStore store(ctx);
+    std::uint64_t v = 0;
+    bool found = false;
+    EXPECT_THROW(store.put(0, 1), Error);
+    EXPECT_THROW(store.get(kv::kTombstone, &v, &found), Error);
+    EXPECT_THROW(store.erase(0), Error);
+    store.destroy(ctx);
+  });
+}
+
+// --- client cache -------------------------------------------------------------
+
+TEST(Kv, CacheHitsAfterFirstReadAndInvalidatesOnWrite) {
+  // Single active client: deterministic hit/miss accounting.
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    KvStore store(ctx);
+    if (ctx.rank() == 0) {
+      ASSERT_EQ(store.put(77, 100), OpStatus::ok);
+      std::uint64_t v = 0;
+      bool found = false;
+      ASSERT_EQ(store.get(77, &v, &found), OpStatus::ok);  // cold: miss
+      EXPECT_EQ(store.stats().cache_misses, 1u);
+      EXPECT_EQ(store.stats().cache_hits, 0u);
+      ASSERT_EQ(store.get(77, &v, &found), OpStatus::ok);  // warm: hit
+      EXPECT_EQ(store.stats().cache_hits, 1u);
+      EXPECT_EQ(v, 100u);
+      // A write bumps the shard epoch: the next read must revalidate.
+      ASSERT_EQ(store.put(77, 200), OpStatus::ok);
+      ASSERT_EQ(store.get(77, &v, &found), OpStatus::ok);
+      EXPECT_EQ(v, 200u) << "cache served a stale value across an epoch";
+      EXPECT_EQ(store.stats().cache_misses, 2u);
+      ASSERT_EQ(store.get(77, &v, &found), OpStatus::ok);  // warm again
+      EXPECT_EQ(store.stats().cache_hits, 2u);
+    }
+    store.destroy(ctx);
+  });
+}
+
+TEST(Kv, RemoteWriterInvalidatesPeerCache) {
+  // Rank 0 caches a key; rank 1 overwrites it; rank 0's next read must
+  // observe the new value through the epoch check (no stale serve).
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    KvStore store(ctx);
+    std::uint64_t v = 0;
+    bool found = false;
+    if (ctx.rank() == 0) {
+      ASSERT_EQ(store.put(31337, 1), OpStatus::ok);
+      ASSERT_EQ(store.get(31337, &v, &found), OpStatus::ok);
+      ASSERT_EQ(store.get(31337, &v, &found), OpStatus::ok);
+      EXPECT_GE(store.stats().cache_hits, 1u);
+    }
+    ctx.barrier();
+    if (ctx.rank() == 1) {
+      ASSERT_EQ(store.put(31337, 2), OpStatus::ok);
+    }
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      ASSERT_EQ(store.get(31337, &v, &found), OpStatus::ok);
+      EXPECT_TRUE(found);
+      EXPECT_EQ(v, 2u) << "peer write not observed: stale cache";
+    }
+    ctx.barrier();
+    store.destroy(ctx);
+  });
+}
+
+// --- Zipfian generator --------------------------------------------------------
+
+TEST(Zipf, SameSeedSameStream) {
+  kv::Zipf a(1024, 0.9, 42);
+  kv::Zipf b(1024, 0.9, 42);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(a.next(), b.next()) << "stream diverged at draw " << i;
+  }
+}
+
+TEST(Zipf, DifferentSeedsDiffer) {
+  kv::Zipf a(1024, 0.9, 1);
+  kv::Zipf b(1024, 0.9, 2);
+  int diffs = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() != b.next()) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(Zipf, SkewFavorsLowRanksAndStaysInRange) {
+  kv::Zipf z(256, 0.9, 7);
+  std::array<int, 256> freq{};
+  for (int i = 0; i < 100000; ++i) {
+    const auto k = z.next();
+    ASSERT_LT(k, 256u);
+    ++freq[static_cast<std::size_t>(k)];
+  }
+  EXPECT_GT(freq[0], freq[128] * 4) << "rank 0 should dominate mid-ranks";
+  EXPECT_GT(freq[0], 10000);  // ~ 17% mass at s=0.9, n=256
+}
+
+TEST(Zipf, UniformDegenerateCase) {
+  kv::Zipf z(64, 0.0, 9);
+  std::array<int, 64> freq{};
+  for (int i = 0; i < 64000; ++i) ++freq[static_cast<std::size_t>(z.next())];
+  for (const int f : freq) {
+    EXPECT_GT(f, 500);  // expectation 1000 each, loose 2-sided bound
+    EXPECT_LT(f, 2000);
+  }
+}
+
+TEST(Zipf, MassSumsToOne) {
+  kv::Zipf z(128, 0.9, 1);
+  double sum = 0.0;
+  for (std::uint64_t r = 0; r < 128; ++r) sum += z.mass(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// --- seqlock coherence under a concurrent writer ------------------------------
+
+namespace {
+
+/// Reader loops versioned gets of key `k1` while the writer churns the
+/// same single-slot shard: overwrites, erases, and inserts of a colliding
+/// key `k2` that reclaims k1's tombstoned cells. Every successful get must
+/// return a value tagged with k1 — never k2's, never torn.
+void seqlock_round(std::uint64_t seed) {
+  constexpr std::uint64_t kA = 5, kB = 9;
+  KvConfig cfg;
+  cfg.shards = 1;       // same shard...
+  cfg.table_slots = 1;  // ...same top slot: maximum contention
+  cfg.heap_slots = 512;
+  cfg.client_cache = false;  // force the full versioned read every time
+  cfg.replicate = false;
+  fabric::run_ranks(2, [&](RankCtx& ctx) {
+    KvStore store(ctx, cfg);
+    if (ctx.rank() == 1) {
+      Rng rng(seed);
+      std::uint64_t i = 0;
+      for (int op = 0; op < 400; ++op) {
+        const auto roll = rng.below(10);
+        if (roll < 6) {
+          ASSERT_EQ(store.put(kA, kA * 1000000 + i++), OpStatus::ok);
+        } else if (roll < 8) {
+          ASSERT_EQ(store.erase(kA), OpStatus::ok);
+        } else {
+          ASSERT_EQ(store.put(kB, kB * 1000000 + i++), OpStatus::ok);
+        }
+      }
+    } else {
+      for (int r = 0; r < 400; ++r) {
+        std::uint64_t v = 0;
+        bool found = false;
+        ASSERT_EQ(store.get(kA, &v, &found), OpStatus::ok);
+        if (found) {
+          EXPECT_EQ(v / 1000000, kA)
+              << "read returned a foreign or torn value " << v;
+        }
+      }
+    }
+    ctx.barrier();
+    store.destroy(ctx);
+  });
+}
+
+}  // namespace
+
+TEST(KvSeqlock, ReadsNeverTearUnderConcurrentWriter) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    seqlock_round(seed);
+  }
+}
+
+// --- seeded chaos determinism -------------------------------------------------
+
+namespace {
+
+struct FaultCounters {
+  std::uint64_t injected = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t failed = 0;
+
+  friend bool operator==(const FaultCounters&, const FaultCounters&) = default;
+};
+
+/// One KV round under a survivable (transient-only) fault plan; returns
+/// the summed fault counters. Workload correctness asserted inside.
+FaultCounters kv_chaos_round(std::uint64_t seed) {
+  constexpr int kRanks = 4;
+  constexpr int kKeysPerRank = 24;
+  fabric::FabricOptions opts;
+  opts.domain.nranks = kRanks;
+  opts.domain.ranks_per_node = 1;  // inter-node ("DMAPP") path
+  opts.domain.fault.seed = seed;
+  opts.domain.fault.transient_faults_per_rank = 4;
+  opts.domain.fault.horizon_ops = 64;
+  opts.domain.fault.max_repeats = 3;
+  opts.domain.fault.retry_budget = 4;
+  std::array<FaultCounters, kRanks> per_rank{};
+  fabric::run_ranks(
+      kRanks,
+      [&](RankCtx& ctx) {
+        const OpCounters before = op_counters();
+        KvStore store(ctx);
+        for (int i = 0; i < kKeysPerRank; ++i) {
+          const auto k =
+              static_cast<std::uint64_t>(ctx.rank()) * 4000 + i + 1;
+          EXPECT_EQ(store.put(k, k * 3), OpStatus::ok)
+              << "put failed under the survivable plan";
+        }
+        ctx.barrier();
+        for (int r = 0; r < kRanks; ++r) {
+          for (int i = 0; i < kKeysPerRank; ++i) {
+            const auto k = static_cast<std::uint64_t>(r) * 4000 + i + 1;
+            std::uint64_t v = 0;
+            bool found = false;
+            EXPECT_EQ(store.get(k, &v, &found), OpStatus::ok);
+            EXPECT_TRUE(found) << "key " << k
+                               << " lost under the survivable plan";
+            EXPECT_EQ(v, k * 3);
+          }
+        }
+        ctx.barrier();
+        store.destroy(ctx);
+        const OpCounters d = op_counters().since(before);
+        per_rank[static_cast<std::size_t>(ctx.rank())] = {
+            d.get(Op::fault_injected), d.get(Op::op_retried),
+            d.get(Op::op_failed)};
+      },
+      opts);
+  FaultCounters total;
+  for (const auto& fc : per_rank) {
+    total.injected += fc.injected;
+    total.retried += fc.retried;
+    total.failed += fc.failed;
+  }
+  return total;
+}
+
+}  // namespace
+
+TEST(KvChaos, DeterministicAcrossSeeds) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    const FaultCounters a = kv_chaos_round(seed);
+    const FaultCounters b = kv_chaos_round(seed);
+    EXPECT_EQ(a, b) << "chaos counters diverged for seed " << seed;
+    EXPECT_GT(a.injected, 0u) << "plan injected nothing at seed " << seed;
+    EXPECT_EQ(a.failed, 0u)
+        << "transient-only plan must not exhaust retry budgets";
+  }
+}
+
+// --- shard-owner failover -----------------------------------------------------
+
+TEST(KvFailover, OwnerKillDegradesToReplicaWithTypedConfinement) {
+  constexpr int kRanks = 4;
+  fabric::FabricOptions opts;
+  opts.domain.nranks = kRanks;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.fault.kill_rank = 1;
+  opts.domain.fault.kill_at_op = 400;  // after the healthy seeding phase
+  opts.errors_return = true;
+  std::atomic<int> survivors{0};
+  fabric::run_ranks(
+      kRanks,
+      [&](RankCtx& ctx) {
+        KvStore store(ctx);  // window is errors_return by construction
+        // Healthy phase: rank 0 seeds keys for every shard owner,
+        // replicated write-through. Keep rank 1's own op budget low so it
+        // dies in the traffic phase, not here.
+        std::vector<std::uint64_t> dead_keys;  // owned by rank 1
+        {
+          std::uint64_t from = 1;
+          for (int i = 0; i < 6; ++i) {
+            dead_keys.push_back(key_owned_by(store, 1, from));
+            from = dead_keys.back() + 1;
+          }
+        }
+        if (ctx.rank() == 0) {
+          for (const auto k : dead_keys) {
+            ASSERT_EQ(store.put(k, k + 5000), OpStatus::ok);
+          }
+        }
+        ctx.barrier();  // last collective: everything later is kill-safe
+
+        if (ctx.rank() == 1) {
+          // Dies at its 400th issued op; RankKilledError unwinds this
+          // thread quietly (errors_return at fleet scope).
+          std::uint64_t v = 0;
+          bool found = false;
+          for (int i = 0; i < 100000; ++i) {
+            store.get(dead_keys[0], &v, &found);
+            store.put(9990001, static_cast<std::uint64_t>(i));
+          }
+          FAIL() << "rank 1 must have been killed";
+        }
+
+        // Survivors: watch the liveness table, then verify degraded mode.
+        while (store.peer_alive(1)) ctx.yield_check();
+        // Typed confinement: a probe at the dead primary retires as
+        // peer_dead, it neither hangs nor aborts the fleet.
+        const int dead_shard = store.shard_of(dead_keys[0]);
+        EXPECT_EQ(store.probe_owner(dead_shard), OpStatus::peer_dead);
+        // Reads of the dead owner's shards reroute to the replica and
+        // still see the healthy-phase values.
+        for (const auto k : dead_keys) {
+          std::uint64_t v = 0;
+          bool found = false;
+          EXPECT_EQ(store.get(k, &v, &found), OpStatus::ok);
+          EXPECT_TRUE(found) << "replica lost key " << k;
+          EXPECT_EQ(v, k + 5000);
+          EXPECT_TRUE(store.degraded(store.shard_of(k)));
+        }
+        EXPECT_GT(store.stats().failovers, 0u);
+        // Degraded writes land on the replica and read back. Use a fresh
+        // rank-1-owned key: other survivors are still verifying dead_keys.
+        if (ctx.rank() == 2) {
+          const auto fresh = key_owned_by(store, 1, dead_keys.back() + 1);
+          ASSERT_EQ(store.put(fresh, 123456), OpStatus::ok);
+          std::uint64_t v = 0;
+          bool found = false;
+          ASSERT_EQ(store.get(fresh, &v, &found), OpStatus::ok);
+          EXPECT_TRUE(found);
+          EXPECT_EQ(v, 123456u);
+        }
+        // Healthy shards keep serving untouched.
+        const auto live_key = key_owned_by(store, 2);
+        if (ctx.rank() == 0) {
+          ASSERT_EQ(store.put(live_key, 42), OpStatus::ok);
+          std::uint64_t v = 0;
+          bool found = false;
+          ASSERT_EQ(store.get(live_key, &v, &found), OpStatus::ok);
+          EXPECT_TRUE(found);
+          EXPECT_EQ(v, 42u);
+        }
+        survivors.fetch_add(1);
+        // No collectives, no destroy: rank 1 cannot meet them.
+      },
+      opts);
+  EXPECT_EQ(survivors.load(), 3);
+}
+
+// --- closed-loop fleet --------------------------------------------------------
+
+TEST(KvFleet, RecordsLatenciesAndStaysCoherent) {
+  const int p = 4;
+  fabric::run_ranks(p, [&](RankCtx& ctx) {
+    KvStore store(ctx);
+    // Seed the keyspace so reads mostly hit existing keys.
+    for (int i = 0; i < 64; ++i) {
+      const auto k = static_cast<std::uint64_t>(i % 256) + 1;
+      if (ctx.rank() == 0) {
+        ASSERT_EQ(store.put(k, k), OpStatus::ok);
+      }
+    }
+    ctx.barrier();
+    KvStore::FleetConfig fc;
+    fc.ops_per_rank = 256;
+    fc.fibers = 8;
+    fc.read_ratio = 0.9;
+    fc.keyspace = 256;
+    fc.seed = 3;
+    const auto res = store.run_fleet(ctx, fc);
+    EXPECT_EQ(res.reads + res.writes,
+              static_cast<std::uint64_t>(fc.ops_per_rank));
+    EXPECT_EQ(res.read_hist.count(), res.reads);
+    EXPECT_EQ(res.write_hist.count(), res.writes);
+    EXPECT_GT(res.reads, res.writes);  // 0.9 read ratio
+    EXPECT_GT(res.read_hist.max(), 0u);
+    EXPECT_EQ(res.peer_dead, 0u);  // healthy fleet
+    ctx.barrier();
+    store.destroy(ctx);
+  });
+}
+
+TEST(KvFleet, OpStreamIsSeedDeterministic) {
+  // Same seed: identical op mix (reads/writes split) across runs.
+  std::array<std::uint64_t, 2> reads{}, writes{};
+  for (int run = 0; run < 2; ++run) {
+    fabric::run_ranks(2, [&](RankCtx& ctx) {
+      KvStore store(ctx);
+      KvStore::FleetConfig fc;
+      fc.ops_per_rank = 128;
+      fc.seed = 99;
+      const auto res = store.run_fleet(ctx, fc);
+      if (ctx.rank() == 0) {
+        reads[static_cast<std::size_t>(run)] = res.reads;
+        writes[static_cast<std::size_t>(run)] = res.writes;
+      }
+      ctx.barrier();
+      store.destroy(ctx);
+    });
+  }
+  EXPECT_EQ(reads[0], reads[1]);
+  EXPECT_EQ(writes[0], writes[1]);
+}

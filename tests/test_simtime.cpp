@@ -8,6 +8,7 @@
 #include "simtime/sim_apps.hpp"
 #include "simtime/sim_coll.hpp"
 #include "simtime/sim_dsde.hpp"
+#include "simtime/sim_kv.hpp"
 #include "simtime/sim_overlap.hpp"
 #include "simtime/sim_sync.hpp"
 
@@ -345,4 +346,82 @@ TEST(SimColl, AllgatherBytesStillLinearAtLargeBlocks) {
   const double t256 = simulate_coll_us(CollOp::allgather, 256, c);
   const double t512 = simulate_coll_us(CollOp::allgather, 512, c);
   EXPECT_GT(t512, 1.8 * t256);
+}
+
+// --- KV service SLO models (DESIGN.md §12) ------------------------------------
+
+TEST(SimKv, CacheLeverageAtLeast2x) {
+  // The bench_kv gate: an epoch-validated cache hit (1 AMO) must model at
+  // least 2x cheaper than the full versioned read (6 AMOs) — the exact
+  // ratio is uncached_amos/cached_amos = 6.
+  KvParams p;
+  p.hit_rate = 1.0;
+  const double cached = kv_read_us(p);
+  p.hit_rate = 0.0;
+  const double uncached = kv_read_us(p);
+  EXPECT_GE(uncached, 2.0 * cached);
+  EXPECT_NEAR(uncached / cached, 6.0, 1e-9);
+}
+
+TEST(SimKv, MeanReadMonotoneInHitRate) {
+  KvParams p;
+  double prev = 1e30;
+  for (double h = 0.0; h <= 1.0; h += 0.1) {
+    p.hit_rate = h;
+    const double t = kv_read_us(p);
+    EXPECT_LT(t, prev) << "mean read must fall as the cache warms, h=" << h;
+    prev = t;
+  }
+}
+
+TEST(SimKv, DegradedTailNoBetterThanHealthy) {
+  // Failover SLO shape: degraded mode bypasses the cache, so both the
+  // mean and the p99 must degrade (mean strictly, given any hit mass).
+  KvParams p;
+  EXPECT_GT(kv_read_us(p, /*degraded=*/true), kv_read_us(p, false));
+  EXPECT_GE(kv_read_p99_us(p, true), kv_read_p99_us(p, false));
+  // The p99 is the uncached read in both modes for any realistic cache.
+  EXPECT_NEAR(kv_read_p99_us(p, false), p.uncached_amos * p.amo_us, 1e-9);
+  // Degraded puts write one region instead of two: cheaper per op, which
+  // is the one silver lining the SLO table shows.
+  EXPECT_LT(kv_put_us(p, true), kv_put_us(p, false));
+}
+
+TEST(SimKv, ThroughputMonotoneAndSaturating) {
+  KvParams p;
+  double prev = 0.0;
+  for (int c = 1; c <= 4096; c *= 2) {
+    const double t = simulate_kv_throughput_mops(c, p);
+    EXPECT_GE(t, prev) << "throughput must be nondecreasing, clients=" << c;
+    prev = t;
+  }
+  // Saturation: far past the knee the hottest shard pins the rate.
+  EXPECT_NEAR(simulate_kv_throughput_mops(2048, p),
+              simulate_kv_throughput_mops(4096, p), 1e-9);
+  // And the plateau is the hot-shard service bound, not the offered load.
+  EXPECT_LT(simulate_kv_throughput_mops(4096, p),
+            4096.0 * p.fibers / kv_read_us(p));
+}
+
+TEST(SimKv, ReplicationRaisesTheSaturationPlateau) {
+  // Hot-key replica reads split the hottest shard's read load across two
+  // serving ranks: the saturated throughput must rise with replication.
+  KvParams repl;
+  repl.replicate = true;
+  KvParams solo = repl;
+  solo.replicate = false;
+  EXPECT_GT(simulate_kv_throughput_mops(4096, repl),
+            simulate_kv_throughput_mops(4096, solo));
+}
+
+TEST(SimKv, HotShardMassMatchesZipfFold) {
+  // phi = rank-1 mass of Zipf(s) over the shards: 1/H at s=0 (uniform),
+  // growing with skew, and always a legal probability.
+  KvParams p;
+  p.zipf_s = 0.0;
+  EXPECT_NEAR(kv_hot_shard_mass(p), 1.0 / p.shards, 1e-9);
+  p.zipf_s = 0.9;
+  const double skewed = kv_hot_shard_mass(p);
+  EXPECT_GT(skewed, 1.0 / p.shards);
+  EXPECT_LT(skewed, 1.0);
 }
