@@ -208,6 +208,133 @@ FailoverResult failover_slo() {
   return res;
 }
 
+struct RecoveryRow {
+  double healthy_p50_us = 0, healthy_p99_us = 0;
+  double degraded_p50_us = 0, degraded_p99_us = 0;
+  double post_p50_us = 0, post_p99_us = 0;
+  double recovery_drain_us = 0;  ///< modeled wall time of the heal() pass
+  std::uint64_t drained_bytes = 0, scrub_cells = 0, scrub_repairs = 0;
+  std::uint64_t generation = 0;
+  int promoted = 0, rereplicated = 0;
+  bool healed_ok = false;
+  bool degraded_cleared = false;
+};
+
+/// Self-healing SLO: healthy reads -> owner kill -> degraded reads ->
+/// heal() (replica promotion + frozen-image drain + scrub, timed) -> the
+/// same reads against the healed routing. The gates assert the full
+/// restoration story: recovery typed-completes, degraded() clears
+/// everywhere, the post-recovery tail returns to within 1.5x of healthy
+/// (the generation check rides the epoch check), and cache leverage is
+/// back (>= 2x over the degraded uncached reads).
+RecoveryRow recovery_slo() {
+  constexpr int kRanks = 4;
+  constexpr int kReadsPerKey = 32;
+  fabric::FabricOptions opts = internode_model();
+  opts.domain.fault.kill_rank = 1;
+  opts.domain.fault.kill_at_op = 400;
+  opts.errors_return = true;
+  RecoveryRow row;
+  fabric::run_ranks(kRanks, [&](RankCtx& ctx) {
+    KvStore store(ctx);
+    std::vector<std::uint64_t> keys;  // owned by the doomed rank
+    for (std::uint64_t k = 1; keys.size() < 6; ++k) {
+      if (store.owner_of(store.shard_of(k)) == 1) keys.push_back(k);
+    }
+    if (ctx.rank() == 0) {
+      for (const auto k : keys) store.put(k, k + 1);
+    }
+    ctx.barrier();  // last collective before the kill
+
+    if (ctx.rank() == 0) {
+      trace::LatencyHisto healthy;
+      std::uint64_t v = 0;
+      bool found = false;
+      for (const auto k : keys) store.get(k, &v, &found);  // warm cache
+      for (int r = 0; r < kReadsPerKey; ++r) {
+        for (const auto k : keys) {
+          Timer t;
+          store.get(k, &v, &found);
+          healthy.add(t.elapsed_ns());
+        }
+      }
+      row.healthy_p50_us = us(healthy.quantile(0.5));
+      row.healthy_p99_us = us(healthy.quantile(0.99));
+      int done = 1;
+      ctx.send(1, /*tag=*/3, &done, sizeof done);  // release the doomed rank
+    }
+    if (ctx.rank() == 1) {
+      int done = 0;
+      ctx.recv(0, /*tag=*/3, &done, sizeof done);
+      for (int i = 0; i < 100000; ++i) store.put(8880001, 1);
+      std::fprintf(stderr, "FAIL: rank 1 survived its kill plan\n");
+      return;
+    }
+    while (store.peer_alive(1)) ctx.yield_check();
+
+    if (ctx.rank() != 0) {
+      // Followers: participate in recovery (wait for the coordinator's
+      // generation release, then install the new table) and stay resident
+      // so the drain can land in their spare banks.
+      store.heal();
+      return;
+    }
+
+    // Degraded phase: replica serving, cache bypassed.
+    trace::LatencyHisto degraded;
+    std::uint64_t v = 0;
+    bool found = false;
+    for (int r = 0; r < kReadsPerKey; ++r) {
+      for (const auto k : keys) {
+        Timer t;
+        store.get(k, &v, &found);
+        degraded.add(t.elapsed_ns());
+      }
+    }
+    row.degraded_p50_us = us(degraded.quantile(0.5));
+    row.degraded_p99_us = us(degraded.quantile(0.99));
+
+    // Heal: rank 0 is the lowest alive rank, so this pass coordinates —
+    // promotion, frozen-image drain, scrub, generation release — and the
+    // timer captures the modeled recovery time.
+    Timer heal_t;
+    const kv::RecoveryReport rep = store.heal();
+    row.recovery_drain_us = heal_t.elapsed_us();
+    row.healed_ok = rep.status == OpStatus::ok && rep.acted &&
+                    rep.promoted >= 1 && rep.rereplicated >= 1 &&
+                    rep.lost == 0;
+    row.drained_bytes = rep.drained_bytes;
+    row.scrub_cells = rep.scrub_cells;
+    row.scrub_repairs = rep.scrub_repairs;
+    row.generation = rep.generation;
+    row.promoted = rep.promoted;
+    row.rereplicated = rep.rereplicated;
+    row.degraded_cleared = true;
+    for (int s = 0; s < store.config().shards; ++s) {
+      if (store.degraded(s)) row.degraded_cleared = false;
+    }
+
+    // Post-recovery phase: same keys against the healed routing. One
+    // warm-up pass repopulates the cache under the new generation.
+    trace::LatencyHisto post;
+    for (const auto k : keys) {
+      auto st = store.get(k, &v, &found);
+      while (st == OpStatus::retry_routing) st = store.get(k, &v, &found);
+    }
+    for (int r = 0; r < kReadsPerKey; ++r) {
+      for (const auto k : keys) {
+        Timer t;
+        store.get(k, &v, &found);
+        post.add(t.elapsed_ns());
+      }
+    }
+    row.post_p50_us = us(post.quantile(0.5));
+    row.post_p99_us = us(post.quantile(0.99));
+    // No barrier/destroy: collective with a dead rank.
+  }, opts);
+  return row;
+}
+
 }  // namespace
 
 int main() {
@@ -235,7 +362,26 @@ int main() {
             fo.degraded_p99_us >= fo.healthy_p99_us;
   }
 
+  // --- self-healing recovery gate ------------------------------------------
+  RecoveryRow rec;
+  bool rec_ok = false;
+  for (int attempt = 0; attempt < 3 && !rec_ok; ++attempt) {
+    rec = recovery_slo();
+    const bool tail_restored =
+        rec.post_p99_us > 0 && rec.healthy_p99_us > 0 &&
+        rec.post_p99_us <= 1.5 * rec.healthy_p99_us;
+    const bool leverage_restored =
+        rec.post_p50_us > 0 && rec.degraded_p50_us >= 2.0 * rec.post_p50_us;
+    rec_ok = rec.healed_ok && rec.degraded_cleared &&
+             rec.drained_bytes > 0 && rec.recovery_drain_us > 0 &&
+             tail_restored && leverage_restored;
+  }
+
   const sim::KvParams model;
+  // Modeled recovery time for the default-config shard the harness heals:
+  // 16B epoch header + (64 top + 256 heap) 32B cells, 320 cell pairs.
+  const double model_recovery_us =
+      sim::kv_recovery_us(model, 16 + (64 + 256) * 32, 64 + 256);
   std::printf("{\n  \"bench\": \"kv\",\n  \"injection\": \"model\",\n");
   std::printf("  \"slo\": [\n");
   for (std::size_t i = 0; i < slo.size(); ++i) {
@@ -273,6 +419,24 @@ int main() {
       fo.healthy_p50_us, fo.healthy_p99_us, fo.degraded_p50_us,
       fo.degraded_p99_us, fo.typed_peer_dead ? "true" : "false",
       static_cast<unsigned long long>(fo.failovers));
+  std::printf(",\n");
+  std::printf(
+      "  \"recovery\": {\"name\": \"self_healing_slo\", "
+      "\"recovery_drain_us\": %.2f, \"post_recovery_p50_us\": %.2f, "
+      "\"post_recovery_p99_us\": %.2f, \"healthy_p99_us\": %.2f, "
+      "\"degraded_p50_us\": %.2f, \"drained_bytes\": %llu, "
+      "\"scrub_cells\": %llu, \"scrub_repairs\": %llu, "
+      "\"generation\": %llu, \"promoted\": %d, \"rereplicated\": %d, "
+      "\"degraded_cleared\": %s, \"model_recovery_us\": %.2f, "
+      "\"model_post_recovery_p99_us\": %.2f}\n",
+      rec.recovery_drain_us, rec.post_p50_us, rec.post_p99_us,
+      rec.healthy_p99_us, rec.degraded_p50_us,
+      static_cast<unsigned long long>(rec.drained_bytes),
+      static_cast<unsigned long long>(rec.scrub_cells),
+      static_cast<unsigned long long>(rec.scrub_repairs),
+      static_cast<unsigned long long>(rec.generation), rec.promoted,
+      rec.rereplicated, rec.degraded_cleared ? "true" : "false",
+      model_recovery_us, sim::kv_post_recovery_p99_us(model));
   std::printf("}\n");
 
   if (!cache_ok) {
@@ -288,6 +452,17 @@ int main() {
                  fo.typed_peer_dead,
                  static_cast<unsigned long long>(fo.failovers),
                  fo.healthy_p99_us, fo.degraded_p99_us);
+    return 1;
+  }
+  if (!rec_ok) {
+    std::fprintf(stderr,
+                 "FAIL: self-healing gate (healed_ok=%d degraded_cleared=%d "
+                 "drained=%llu drain_us=%.2f healthy_p99=%.2f post_p99=%.2f "
+                 "degraded_p50=%.2f post_p50=%.2f)\n",
+                 rec.healed_ok, rec.degraded_cleared,
+                 static_cast<unsigned long long>(rec.drained_bytes),
+                 rec.recovery_drain_us, rec.healthy_p99_us, rec.post_p99_us,
+                 rec.degraded_p50_us, rec.post_p50_us);
     return 1;
   }
   return 0;

@@ -13,8 +13,8 @@ and writes BENCH_summary.json next to the inputs. Fault-injection counters
 (fault_injected / op_retried / op_failed) that a case reports are exported
 alongside its headline metric as "<case>/<counter>", so a chaos or
 armed-plan bench run leaves its retry traffic in the summary. Latency
-quantiles (any "*_p50_us" / "*_p99_us" key, e.g. bench_kv's SLO and
-failover rows) are exported the same way — a named row carrying only
+quantiles (any "*_p50_us" / "*_p99_us" key, e.g. bench_kv's SLO,
+failover and self-healing recovery rows) are exported the same way — a named row carrying only
 quantiles still lands in the summary. Perfetto
 trace artifacts (*.trace.json) and a stale summary itself are skipped.
 Exits non-zero if no bench artifacts were found or one fails to parse, so
@@ -25,7 +25,7 @@ import pathlib
 import sys
 
 HEADLINE_KEYS = ("ns_per_op", "ns_per_elem", "mops_per_s", "us_per_op",
-                 "us_per_put")
+                 "us_per_put", "recovery_drain_us")
 FAULT_KEYS = ("fault_injected", "op_retried", "op_failed")
 QUANTILE_SUFFIXES = ("_p50_us", "_p99_us")
 # Name-less case rows (e.g. bench_throughput's stripe table) are identified

@@ -5,23 +5,29 @@
 #   2. Seeded chaos gate: the fault-injection suite (hashtable + DSDE +
 #      KV-service workloads under a survivable fault plan, seeds 11/22/33
 #      baked into tests/test_fault.cpp and tests/test_kv.cpp) repeated to
-#      confirm the counters are a pure function of the seed
+#      confirm the counters are a pure function of the seed, plus the
+#      recovery-chaos suite (staggered double kills + heal-until-settled
+#      under the same seeds) repeated to confirm the self-healing
+#      invariants hold across thread schedules
 #   3. ThreadSanitizer build + the concurrency-heavy tests (datatype
 #      flatten-cache sharing, RDMA issue paths, locks, comm, accumulate,
 #      flight-recorder tracing, doorbell batching/striping, fault
-#      injection/recovery incl. Delivery::deferred under a fault plan and
-#      the suspended-fiber-fleet chaos kill, RMA-native collectives incl.
+#      injection/recovery incl. Delivery::deferred under a fault plan,
+#      the suspended-fiber-fleet chaos kill, and the kills-vector
+#      staggered double-death path, RMA-native collectives incl.
 #      forced trees and persistent plans, the fiber progress engine +
 #      notify plane, and the KV service's seqlock reads under a
-#      concurrent writer plus its kill/failover path)
+#      concurrent writer plus its kill/failover path and the full
+#      self-healing recovery/scrub/reconfiguration suite)
 #   4. Benchmark smoke run (bench_fastpath + bench_datatype +
 #      bench_throughput + bench_collectives + bench_overlap + bench_kv JSON
 #      emission and two figure benches; the throughput bench self-gates
 #      >=2x batched speedup and monotone striping, the collectives bench
 #      self-gates log-p DES shapes, the overlap bench self-gates >=4x
-#      64-fiber AMO pipelining, the kv bench self-gates >=2x cache leverage
-#      and a monotone failover SLO with typed peer_dead, exiting non-zero
-#      on violation)
+#      64-fiber AMO pipelining, the kv bench self-gates >=2x cache leverage,
+#      a monotone failover SLO with typed peer_dead, and a full healing
+#      pass — promotion + re-replication with post-recovery p99 within
+#      1.5x of healthy — exiting non-zero on violation)
 #   5. Trace-artifact gate: the Perfetto timeline bench_fig6b_fence emitted
 #      must be valid JSON and must have dropped zero events
 #   6. Fault fast-path gate: arming an (idle) fault plan must not tax the
@@ -47,6 +53,14 @@ ctest --test-dir build --output-on-failure
 ./build/tests/test_fault --gtest_filter='Chaos.*' --gtest_repeat=3 \
   --gtest_brief=1
 ./build/tests/test_kv --gtest_filter='KvChaos.*' --gtest_repeat=3 \
+  --gtest_brief=1
+
+# Recovery chaos: staggered double kills under seeds 11/22/33 with a
+# closed-loop fleet running throughout; every run must settle (replica
+# promotion + re-replication or typed data_loss) with the op-retirement
+# identity intact. Repeated because the kill/heal interleaving is
+# thread-schedule dependent — the invariants must hold under all of them.
+./build/tests/test_kv --gtest_filter='KvRecoveryChaos.*' --gtest_repeat=3 \
   --gtest_brief=1
 
 cmake -B build-tsan -G Ninja -DFOMPI_SANITIZE=thread

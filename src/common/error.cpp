@@ -20,6 +20,7 @@ const char* to_string(ErrClass ec) noexcept {
     case ErrClass::timeout:      return "FOMPI_ERR_TIMEOUT";
     case ErrClass::cq:           return "FOMPI_ERR_CQ";
     case ErrClass::peer_dead:    return "FOMPI_ERR_PEER_DEAD";
+    case ErrClass::data_loss:    return "FOMPI_ERR_DATA_LOSS";
   }
   return "FOMPI_ERR_UNKNOWN";
 }

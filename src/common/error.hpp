@@ -28,6 +28,7 @@ enum class ErrClass : std::uint32_t {
   timeout,        ///< NIC timeout / retry budget exhausted (fault model)
   cq,             ///< completion-queue error reported by the NIC
   peer_dead,      ///< target rank failed (fabric liveness epoch)
+  data_loss,      ///< every replica of the addressed data is on dead ranks
 };
 
 /// Human-readable name of an error class.

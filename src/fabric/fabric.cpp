@@ -30,6 +30,13 @@ std::exception_ptr Fabric::first_error() const {
   return first_error_;
 }
 
+int Fabric::lowest_alive() const noexcept {
+  for (int r = 0; r < domain_.nranks(); ++r) {
+    if (domain_.alive(r)) return r;
+  }
+  return -1;
+}
+
 std::shared_ptr<void> Fabric::ext_get(const std::string& key) const {
   std::scoped_lock lock(ext_mu_);
   const auto it = ext_.find(key);

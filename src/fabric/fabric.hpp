@@ -63,6 +63,13 @@ class Fabric {
   /// rank threads joined.
   std::exception_ptr first_error() const;
 
+  /// Recovery-coordinator election over the fail-stop liveness table: the
+  /// lowest rank still alive (-1 when the whole fleet is dead). Deaths only
+  /// remove ranks, so the result is monotone nondecreasing over time — a
+  /// rank that observes itself elected while a reconfiguration is in flight
+  /// knows the previous coordinator (a strictly lower rank) must be dead.
+  int lowest_alive() const noexcept;
+
   /// Named extension slot with fabric lifetime (e.g. the symmetric heap of
   /// the RMA layer). Returns a reference guarded by an internal mutex; use
   /// ext_get/ext_put for thread-safe access.

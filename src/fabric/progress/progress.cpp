@@ -346,6 +346,14 @@ void Scheduler::await_notify(Fiber& f, NotifyPlane& plane, std::uint64_t tag,
 
 void Scheduler::await_ready(Fiber& f) { ready_waits_.push_back(&f); }
 
+void Scheduler::await_backoff(Fiber& f, std::uint64_t delay_ns) {
+  // Fresh clock read, not now_cache_: a backoff is a wall-time contract and
+  // the cache can be arbitrarily stale on a quiet scheduler.
+  const std::uint64_t deadline = now_ns() + delay_ns;
+  heap_push(HandleWait{deadline, &f, rdma::kDoneHandle, /*epoch=*/false,
+                       /*sleep=*/true});
+}
+
 void Scheduler::await_yield(Fiber& f) { runnable_.push_back(&f); }
 
 bool Scheduler::poll_once() {
@@ -357,6 +365,11 @@ bool Scheduler::poll_once() {
   if (!heap_.empty()) now_cache_ = now_ns();
   while (!heap_.empty() && heap_.front().deadline <= now_cache_) {
     const HandleWait w = heap_pop();
+    if (w.sleep) {
+      make_runnable(w.fiber, rdma::OpStatus::ok);
+      progressed = true;
+      continue;
+    }
     if (w.epoch) {
       // More ops may have been issued while this fiber was parked: re-arm
       // on the grown quiesce deadline instead of spinning inside gsync.

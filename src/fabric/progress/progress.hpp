@@ -212,6 +212,11 @@ class Scheduler {
                     int source);
   void await_ready(Fiber& f);
   void await_yield(Fiber& f);
+  /// Parks the fiber for `delay_ns` wall nanoseconds on the deadline heap —
+  /// a fiber-native backoff for retry loops (scrub re-reads, routing
+  /// re-fetches), so a waiting fiber never raw-spins: the scheduler's idle
+  /// loop (and its yield_check) stays the engine's single suspension point.
+  void await_backoff(Fiber& f, std::uint64_t delay_ns);
 
  private:
   struct HandleWait {
@@ -219,6 +224,7 @@ class Scheduler {
     Fiber* fiber;
     rdma::Handle handle;  // kDoneHandle marks an epoch (gsync) wait
     bool epoch;
+    bool sleep = false;  // pure timed backoff: wake with ok at deadline
   };
   struct NotifyWait {
     Fiber* fiber;
@@ -286,6 +292,9 @@ class Scheduler {
 /// Parks until this->poll_ready() returns true.
 #define FOMPI_FIBER_AWAIT_READY(s) \
   FOMPI_FIBER_SUSPEND_((s).await_ready(*this))
+/// Parks for `ns` wall nanoseconds (fiber-native backoff; no raw spin).
+#define FOMPI_FIBER_BACKOFF(s, ns) \
+  FOMPI_FIBER_SUSPEND_((s).await_backoff(*this, (ns)))
 /// Cooperative reschedule: goes to the back of the runnable queue.
 #define FOMPI_FIBER_YIELD(s) \
   FOMPI_FIBER_SUSPEND_((s).await_yield(*this))

@@ -35,38 +35,51 @@ KvStore::KvStore(fabric::RankCtx& ctx, KvConfig cfg)
   FOMPI_REQUIRE(cfg_.shards >= 1, ErrClass::arg, "kv needs >= 1 shard");
   FOMPI_REQUIRE(cfg_.table_slots > 0 && cfg_.heap_slots > 0, ErrClass::arg,
                 "kv needs nonzero shard capacities");
+  FOMPI_REQUIRE(cfg_.routing_rank >= 0 && cfg_.routing_rank < nranks_,
+                ErrClass::arg, "kv routing rank out of range");
+  FOMPI_REQUIRE(cfg_.drain_chunk >= 8, ErrClass::arg,
+                "kv drain chunk too small");
+  FOMPI_REQUIRE(cfg_.spare_factor >= 1, ErrClass::arg,
+                "kv needs a nonzero spare bank");
   shards_per_rank_ = (cfg_.shards + nranks_ - 1) / nranks_;
 
   core::WinConfig wc;
   wc.err_mode = core::ErrMode::errors_return;  // service degrades, not dies
   const std::size_t bytes =
-      routing_bytes() + 2 * static_cast<std::size_t>(shards_per_rank_) *
-                            shard_region_bytes();
+      routing_bytes() +
+      (2 * static_cast<std::size_t>(shards_per_rank_) +
+       static_cast<std::size_t>(spare_slots())) *
+          shard_region_bytes();
   win_ = core::Win::allocate(ctx, bytes, wc);
 
-  // Rank 0 publishes the authoritative routing table into its own region
-  // before the barrier; clients fetch it one-sided afterwards (MR-fetch
-  // idiom: one rget at attach time, no metadata traffic per op).
-  if (rank_ == 0) {
+  // The routing home publishes the generation word (offset 0; even =
+  // stable, odd = reconfiguration in flight) and the authoritative table
+  // into its own region before the barrier; clients fetch the consistent
+  // {generation, table} pair one-sided afterwards (MR-fetch idiom: one
+  // rget at attach time, no metadata traffic per op).
+  if (rank_ == cfg_.routing_rank) {
     auto* words = static_cast<std::uint64_t*>(win_.base());
+    words[0] = 0;  // generation
+    words[1] = 0;  // pad: keeps the table 16-byte aligned
     for (int s = 0; s < cfg_.shards; ++s) {
-      const std::uint64_t owner = static_cast<std::uint64_t>(s % nranks_);
-      const std::uint64_t repl = (owner + 1) % static_cast<std::uint64_t>(
-                                                  nranks_);
-      words[s] = owner | (repl << 32);
+      const int owner = s % nranks_;
+      const int repl = (owner + 1) % nranks_;
+      const int slot = s / nranks_;
+      words[2 + s] =
+          static_cast<std::uint64_t>(pack_copy(Copy{owner, 0, slot})) |
+          (static_cast<std::uint64_t>(pack_copy(Copy{repl, 1, slot})) << 32);
     }
   }
   win_.lock_all();  // passive epoch held for the service's lifetime
   ctx.barrier();
 
   routing_.assign(static_cast<std::size_t>(cfg_.shards), 0);
-  auto req = win_.rget(routing_.data(), routing_bytes(), 0, 0);
-  const auto st = wait_req(req);
-  FOMPI_REQUIRE(st == rdma::OpStatus::ok, ErrClass::internal,
-                "kv routing-table fetch failed");
   degraded_.assign(static_cast<std::size_t>(cfg_.shards), false);
   cache_.assign(static_cast<std::size_t>(cfg_.shards), {});
   epoch_seen_.assign(static_cast<std::size_t>(cfg_.shards), 0);
+  const auto st = fetch_routing();
+  FOMPI_REQUIRE(st == rdma::OpStatus::ok, ErrClass::internal,
+                "kv routing-table fetch failed");
   ctx.barrier();  // no traffic before every client holds the table
 }
 
@@ -79,7 +92,8 @@ void KvStore::destroy(fabric::RankCtx& ctx) {
 // --- layout -----------------------------------------------------------------
 
 std::size_t KvStore::routing_bytes() const {
-  return 8 * static_cast<std::size_t>(cfg_.shards);
+  // [generation | pad][8-byte packed entry per shard].
+  return 16 + 8 * static_cast<std::size_t>(cfg_.shards);
 }
 
 std::size_t KvStore::shard_region_bytes() const {
@@ -91,15 +105,20 @@ std::size_t KvStore::shard_region_bytes() const {
   return 16 + l.region_bytes();  // [epoch][pad] + buckets
 }
 
-std::size_t KvStore::region_base(int shard, bool replica) const {
-  const auto local = static_cast<std::size_t>(shard / nranks_);
-  const auto bank = replica ? static_cast<std::size_t>(shards_per_rank_) : 0;
-  return routing_bytes() + (bank + local) * shard_region_bytes();
+std::size_t KvStore::copy_base(const Copy& c) const {
+  // Banks 0 (primary) and 1 (replica) hold shards_per_rank regions each;
+  // bank 2 (spares) is spare_factor times wider.
+  const std::size_t spr = static_cast<std::size_t>(shards_per_rank_);
+  const std::size_t regions =
+      c.bank < 2 ? static_cast<std::size_t>(c.bank) * spr +
+                       static_cast<std::size_t>(c.slot)
+                 : 2 * spr + static_cast<std::size_t>(c.slot);
+  return routing_bytes() + regions * shard_region_bytes();
 }
 
-BucketLayout KvStore::layout_for(int shard, bool replica) const {
+BucketLayout KvStore::layout_of(const Copy& c) const {
   BucketLayout l;
-  l.base = region_base(shard, replica) + 16;
+  l.base = copy_base(c) + 16;
   l.table_slots = cfg_.table_slots;
   l.heap_slots = cfg_.heap_slots;
   l.table_stride = kTopStride;
@@ -116,14 +135,14 @@ std::size_t KvStore::slot_of(std::uint64_t key) const {
   return static_cast<std::size_t>(mix64(key) >> 32) % cfg_.table_slots;
 }
 
-int KvStore::owner_of(int shard) const {
-  return static_cast<int>(routing_[static_cast<std::size_t>(shard)] &
-                          0xffffffffull);
+Copy KvStore::copy_of(int shard, bool replica) const {
+  const std::uint64_t w = routing_[static_cast<std::size_t>(shard)];
+  return unpack_copy(static_cast<std::uint32_t>(replica ? (w >> 32) : w));
 }
 
-int KvStore::replica_of(int shard) const {
-  return static_cast<int>(routing_[static_cast<std::size_t>(shard)] >> 32);
-}
+int KvStore::owner_of(int shard) const { return copy_of(shard, false).rank; }
+
+int KvStore::replica_of(int shard) const { return copy_of(shard, true).rank; }
 
 std::uint64_t KvStore::shard_epoch(int shard, bool replica) {
   std::uint64_t ep = 0;
@@ -189,6 +208,139 @@ rdma::OpStatus KvStore::amo_write(int t, std::size_t off, std::uint64_t v) {
   return wait_req(req);
 }
 
+rdma::OpStatus KvStore::amo_read2(int t1, std::size_t off1, std::uint64_t* v1,
+                                  int t2, std::size_t off2,
+                                  std::uint64_t* v2) {
+  // Both reads are in flight before either is awaited, so they overlap on
+  // the wire: a generation check piggybacked this way adds ~no round trip
+  // to the epoch check it rides with (the sim_kv AMO budgets rely on it).
+  auto r1 =
+      win_.rfetch_and_op(nullptr, v1, Elem::u64, RedOp::no_op, t1, off1);
+  auto r2 =
+      win_.rfetch_and_op(nullptr, v2, Elem::u64, RedOp::no_op, t2, off2);
+  const auto s1 = wait_req(r1);
+  const auto s2 = wait_req(r2);
+  return s1 != rdma::OpStatus::ok ? s1 : s2;
+}
+
+// --- versioned routing -------------------------------------------------------
+//
+// The routing table carries a generation word: even = stable, odd = a
+// reconfiguration is in flight. Clients that have observed a death validate
+// their cached generation with one AMO per op (piggybacked on the epoch
+// check where one exists); a mismatch retires the op as typed
+// retry_routing and — once the generation is stable again — re-fetches a
+// consistent {generation, table} pair. Before any death the generation
+// cannot have moved, so the healthy fast path skips all of this for the
+// cost of one atomic load and a branch.
+
+bool KvStore::routing_suspect() const {
+  return fabric_->domain().death_epoch() != 0;
+}
+
+std::uint64_t KvStore::generation() {
+  std::uint64_t g = 0;
+  amo_read(cfg_.routing_rank, 0, &g);
+  return g;
+}
+
+rdma::OpStatus KvStore::handle_gen_mismatch(std::uint64_t gen) {
+  ++stats_.retry_routing;
+  count(Op::kv_retry_routing);
+  // Odd generation: the coordinator is mid-reconfiguration. Retire the op
+  // typed instead of blocking the client under the coordinator's drain;
+  // the caller reissues and refreshes once the generation stabilizes.
+  if ((gen & 1) == 0) {
+    const auto st = fetch_routing();
+    if (st != rdma::OpStatus::ok) return st;
+  }
+  return rdma::OpStatus::retry_routing;
+}
+
+rdma::OpStatus KvStore::check_generation() {
+  if (!routing_suspect()) return rdma::OpStatus::ok;
+  std::uint64_t g = 0;
+  const auto st = amo_read(cfg_.routing_rank, 0, &g);
+  if (st != rdma::OpStatus::ok) return st;
+  if (g == gen_seen_) return rdma::OpStatus::ok;
+  return handle_gen_mismatch(g);
+}
+
+rdma::OpStatus KvStore::raw_fetch_table(std::vector<std::uint64_t>* table) {
+  // The coordinator republishes routing entries with AMO writes while the
+  // generation is odd, so a refetch can race those writes: the table is an
+  // AMO-raced region and must be read word-wise through fetch-AMOs (the
+  // same rule every other raced word in the store follows), not one rget.
+  // All fetches go in flight before any is awaited, so the word-wise read
+  // still overlaps into ~one round trip.
+  const auto n = static_cast<std::size_t>(cfg_.shards);
+  table->assign(n, 0);
+  std::vector<core::RmaRequest> reqs(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    reqs[s] = win_.rfetch_and_op(nullptr, &(*table)[s], Elem::u64,
+                                 RedOp::no_op, cfg_.routing_rank, 16 + 8 * s);
+  }
+  rdma::OpStatus st = rdma::OpStatus::ok;
+  for (auto& req : reqs) {
+    const auto s = wait_req(req);
+    if (s != rdma::OpStatus::ok && st == rdma::OpStatus::ok) st = s;
+  }
+  return st;
+}
+
+rdma::OpStatus KvStore::fetch_routing() {
+  // Consistent-pair protocol: generation, table, generation again — accept
+  // only a stable (even) generation that did not move across the table
+  // get. This is what makes a LATE first fetch safe: a client attaching
+  // while a recovery is republishing entries can never install a half-new
+  // table under an old generation stamp.
+  const std::vector<std::uint64_t> old = routing_;
+  std::vector<std::uint64_t> table;
+  Backoff bo;
+  while (true) {
+    std::uint64_t g1 = 0;
+    auto st = amo_read(cfg_.routing_rank, 0, &g1);
+    if (st != rdma::OpStatus::ok) return st;
+    if ((g1 & 1) == 0) {
+      st = raw_fetch_table(&table);
+      if (st != rdma::OpStatus::ok) return st;
+      std::uint64_t g2 = 0;
+      st = amo_read(cfg_.routing_rank, 0, &g2);
+      if (st != rdma::OpStatus::ok) return st;
+      if (g1 == g2) {
+        routing_ = table;
+        gen_seen_ = g1;
+        apply_routing(old);
+        return rdma::OpStatus::ok;
+      }
+    }
+    bo.pause();  // reconfiguration in flight: poll politely, never raw-spin
+    fabric_->yield_check();
+  }
+}
+
+void KvStore::apply_routing(const std::vector<std::uint64_t>& old) {
+  for (int s = 0; s < cfg_.shards; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    if (old.size() == routing_.size() && old[i] != routing_[i]) {
+      // The shard's copies moved: epoch stamps taken against the old
+      // primary region are meaningless against the new one.
+      cache_[i].clear();
+      epoch_seen_[i] = 0;
+    }
+    degraded_[i] = !win_.peer_alive(copy_of(s, false).rank);
+  }
+}
+
+rdma::OpStatus KvStore::refresh_routing() { return fetch_routing(); }
+
+rdma::OpStatus KvStore::debug_write_copy(std::uint64_t key, bool replica,
+                                         std::uint64_t value) {
+  const int shard = shard_of(key);
+  const Copy c = copy_of(shard, replica);
+  return write_region(c.rank, shard, replica, key, value, false);
+}
+
 // --- failover ----------------------------------------------------------------
 
 bool KvStore::any_peer_dead() const {
@@ -207,16 +359,21 @@ void KvStore::fail_over(int shard) {
   count(Op::kv_failover);
 }
 
-void KvStore::maybe_revoke(int t, std::size_t ver_off,
-                           std::uint64_t stuck_ver) {
+rdma::OpStatus KvStore::maybe_revoke(int t, std::size_t ver_off,
+                                     std::uint64_t stuck_ver) {
   // A writer that died between lock (v -> odd) and release leaves the
   // seqlock wedged. Only ever force-release when a death has actually been
   // observed; the CAS makes revocation race-safe against a live writer's
   // own release. The cell's last in-flight write may or may not have
   // landed — fail-stop semantics, either value is a legal outcome.
-  if (!any_peer_dead()) return;
+  //
+  // The status matters to the caller: when the cell's HOST is dead, the
+  // version is frozen odd forever and the revocation CAS (a mutating AMO)
+  // retires peer_dead without touching the image — the spin can never be
+  // released and the caller must retire typed instead of waiting.
+  if (!any_peer_dead()) return rdma::OpStatus::ok;
   std::uint64_t prev = 0;
-  amo_cas(t, ver_off, stuck_ver, stuck_ver + 1, &prev);
+  return amo_cas(t, ver_off, stuck_ver, stuck_ver + 1, &prev);
 }
 
 // --- seqlock cell protocol ----------------------------------------------------
@@ -238,7 +395,13 @@ rdma::OpStatus KvStore::seq_read(int t, std::size_t cell_off,
       ++stats_.read_retries;
       count(Op::kv_read_retry);
       if (++stuck > kRevokeSpins) {
-        maybe_revoke(t, cell_off + kVerOff, v1);
+        // Host died with the cell locked: the frozen image stays odd
+        // forever and revocation cannot land. Retire typed so the caller
+        // fails over to the other copy instead of spinning on the corpse.
+        if (maybe_revoke(t, cell_off + kVerOff, v1) ==
+            rdma::OpStatus::peer_dead) {
+          return rdma::OpStatus::peer_dead;
+        }
         stuck = 0;
       }
       bo.pause();
@@ -284,7 +447,10 @@ rdma::OpStatus KvStore::seq_write(int t, int shard, bool replica,
       if (st != rdma::OpStatus::ok) return st;
       if (prev == v) break;
     } else if (++stuck > kRevokeSpins) {
-      maybe_revoke(t, cell_off + kVerOff, v);
+      if (maybe_revoke(t, cell_off + kVerOff, v) ==
+          rdma::OpStatus::peer_dead) {
+        return rdma::OpStatus::peer_dead;  // host dead, lock frozen odd
+      }
       stuck = 0;
     }
     bo.pause();
@@ -445,9 +611,19 @@ void require_user_key(std::uint64_t key) {
 }
 }  // namespace
 
+rdma::OpStatus KvStore::data_loss_on(int /*shard*/) {
+  // The addressed shard's owner AND replica are dead: under fail-stop the
+  // frozen images stay readable, but serving them would hand out values
+  // that can never be repaired or invalidated — retire typed instead.
+  ++stats_.data_loss_ops;
+  return rdma::OpStatus::data_loss;
+}
+
 rdma::OpStatus KvStore::put(std::uint64_t key, std::uint64_t value) {
   require_user_key(key);
   ++stats_.puts;
+  const auto gst = check_generation();
+  if (gst != rdma::OpStatus::ok) return gst;
   const int shard = shard_of(key);
   if (!degraded_[static_cast<std::size_t>(shard)] &&
       !win_.peer_alive(owner_of(shard))) {
@@ -455,7 +631,7 @@ rdma::OpStatus KvStore::put(std::uint64_t key, std::uint64_t value) {
   }
   if (degraded_[static_cast<std::size_t>(shard)]) {
     const int rep = replica_of(shard);
-    if (!win_.peer_alive(rep)) return rdma::OpStatus::peer_dead;
+    if (!win_.peer_alive(rep)) return data_loss_on(shard);
     return write_region(rep, shard, /*replica=*/true, key, value, false);
   }
   auto st = write_region(owner_of(shard), shard, false, key, value, false);
@@ -463,7 +639,7 @@ rdma::OpStatus KvStore::put(std::uint64_t key, std::uint64_t value) {
     ++stats_.peer_dead_ops;
     fail_over(shard);
     const int rep = replica_of(shard);
-    if (!win_.peer_alive(rep)) return rdma::OpStatus::peer_dead;
+    if (!win_.peer_alive(rep)) return data_loss_on(shard);
     return write_region(rep, shard, true, key, value, false);
   }
   if (st != rdma::OpStatus::ok || !cfg_.replicate) return st;
@@ -479,6 +655,8 @@ rdma::OpStatus KvStore::put(std::uint64_t key, std::uint64_t value) {
 rdma::OpStatus KvStore::erase(std::uint64_t key) {
   require_user_key(key);
   ++stats_.erases;
+  const auto gst = check_generation();
+  if (gst != rdma::OpStatus::ok) return gst;
   const int shard = shard_of(key);
   if (!degraded_[static_cast<std::size_t>(shard)] &&
       !win_.peer_alive(owner_of(shard))) {
@@ -486,7 +664,7 @@ rdma::OpStatus KvStore::erase(std::uint64_t key) {
   }
   if (degraded_[static_cast<std::size_t>(shard)]) {
     const int rep = replica_of(shard);
-    if (!win_.peer_alive(rep)) return rdma::OpStatus::peer_dead;
+    if (!win_.peer_alive(rep)) return data_loss_on(shard);
     return write_region(rep, shard, true, key, 0, /*is_erase=*/true);
   }
   auto st = write_region(owner_of(shard), shard, false, key, 0, true);
@@ -494,7 +672,7 @@ rdma::OpStatus KvStore::erase(std::uint64_t key) {
     ++stats_.peer_dead_ops;
     fail_over(shard);
     const int rep = replica_of(shard);
-    if (!win_.peer_alive(rep)) return rdma::OpStatus::peer_dead;
+    if (!win_.peer_alive(rep)) return data_loss_on(shard);
     return write_region(rep, shard, true, key, 0, true);
   }
   if (st != rdma::OpStatus::ok || !cfg_.replicate) return st;
@@ -513,17 +691,34 @@ rdma::OpStatus KvStore::get(std::uint64_t key, std::uint64_t* value,
   *found = false;
   *value = 0;
   const int shard = shard_of(key);
+  const bool suspect = routing_suspect();
   if (!degraded_[static_cast<std::size_t>(shard)] &&
       !win_.peer_alive(owner_of(shard))) {
     fail_over(shard);
   }
   const bool deg = degraded_[static_cast<std::size_t>(shard)];
   const int t = deg ? replica_of(shard) : owner_of(shard);
-  if (deg && !win_.peer_alive(t)) return rdma::OpStatus::peer_dead;
+  if (deg && !win_.peer_alive(t)) return data_loss_on(shard);
 
+  bool gen_checked = !suspect;
   if (cfg_.client_cache && !deg) {
     std::uint64_t ep = 0;
-    const auto est = amo_read(t, epoch_off(shard, false), &ep);
+    rdma::OpStatus est;
+    if (suspect) {
+      // The generation check rides alongside the epoch check: both AMOs
+      // in flight together, so validation costs one overlapped round
+      // trip, not two serialized ones (the 1.5x post-recovery p99 budget
+      // depends on this).
+      std::uint64_t g = 0;
+      est = amo_read2(cfg_.routing_rank, 0, &g, t, epoch_off(shard, false),
+                      &ep);
+      if (est == rdma::OpStatus::ok) {
+        gen_checked = true;
+        if (g != gen_seen_) return handle_gen_mismatch(g);
+      }
+    } else {
+      est = amo_read(t, epoch_off(shard, false), &ep);
+    }
     if (est == rdma::OpStatus::ok) {
       auto& entries = cache_[static_cast<std::size_t>(shard)];
       if (ep == epoch_seen_[static_cast<std::size_t>(shard)]) {
@@ -543,13 +738,17 @@ rdma::OpStatus KvStore::get(std::uint64_t key, std::uint64_t* value,
     ++stats_.cache_misses;
     count(Op::kv_cache_miss);
   }
+  if (!gen_checked) {
+    const auto gst = check_generation();
+    if (gst != rdma::OpStatus::ok) return gst;
+  }
 
   auto st = read_region(t, layout_for(shard, deg), key, value, found);
   if (st == rdma::OpStatus::peer_dead && !deg) {
     ++stats_.peer_dead_ops;
     fail_over(shard);
     const int rep = replica_of(shard);
-    if (!win_.peer_alive(rep)) return rdma::OpStatus::peer_dead;
+    if (!win_.peer_alive(rep)) return data_loss_on(shard);
     st = read_region(rep, layout_for(shard, true), key, value, found);
   }
   if (st == rdma::OpStatus::ok && *found && cfg_.client_cache && !deg &&
@@ -578,7 +777,18 @@ struct KvStore::ClientFiber final : fabric::progress::Fiber {
               std::size_t* cursor, FleetResult* res)
       : kv(kv), ops(ops), cursor(cursor), res(res) {}
 
-  void record(bool is_read, std::uint64_t t0) {
+  void record(bool is_read, std::uint64_t t0,
+              rdma::OpStatus st = rdma::OpStatus::ok) {
+    // Retirement identity: every pulled op lands in exactly one bucket, so
+    // issued == ok + peer_dead + retry_routing + data_loss + failed_other
+    // (the chaos tests assert this).
+    switch (st) {
+      case rdma::OpStatus::ok: ++res->ok_ops; break;
+      case rdma::OpStatus::peer_dead: ++res->peer_dead; break;
+      case rdma::OpStatus::retry_routing: ++res->retry_routing; break;
+      case rdma::OpStatus::data_loss: ++res->data_loss; break;
+      default: ++res->failed_other; break;
+    }
     const std::uint64_t dur = now_ns() - t0;
     if (is_read) {
       ++res->reads;
@@ -597,20 +807,23 @@ struct KvStore::ClientFiber final : fabric::progress::Fiber {
     const auto st = ops[at].is_read
                         ? kv.get(ops[at].key, &v, &found)
                         : kv.put(ops[at].key, ops[at].key * 31 + 7);
-    if (st == rdma::OpStatus::peer_dead) ++res->peer_dead;
-    record(ops[at].is_read, t0);
+    record(ops[at].is_read, t0, st);
   }
 
   void step(fabric::progress::Scheduler& s) override {
     FOMPI_FIBER_BEGIN();
     while (*cursor < ops.size()) {
       at = (*cursor)++;
+      ++res->issued;
       t0 = now_ns();
       shard = kv.shard_of(ops[at].key);
       target = kv.owner_of(shard);  // trace label even on the slow path
-      if (!ops[at].is_read || kv.degraded_[static_cast<std::size_t>(shard)] ||
+      if (!ops[at].is_read || kv.routing_suspect() ||
+          kv.degraded_[static_cast<std::size_t>(shard)] ||
           !kv.win_.peer_alive(target)) {
-        blocking_op(t0);  // writes + degraded routing: slow path
+        // Writes, degraded routing, and any post-death op (which must
+        // validate the routing generation) take the blocking path.
+        blocking_op(t0);
         continue;
       }
       l = kv.layout_for(shard, false);
@@ -716,13 +929,12 @@ struct KvStore::ClientFiber final : fabric::progress::Fiber {
     bool found = false;
     const auto st = kv.read_region(target, l, ops[at].key, &v, &found);
     if (st == rdma::OpStatus::peer_dead) {
-      ++res->peer_dead;
       kv.fail_over(shard);
     } else if (st == rdma::OpStatus::ok && found && kv.cfg_.client_cache &&
                !kv.degraded_[static_cast<std::size_t>(shard)]) {
       kv.cache_[static_cast<std::size_t>(shard)][ops[at].key] = v;
     }
-    record(true, t0_);
+    record(true, t0_, st);
   }
 
   KvStore& kv;

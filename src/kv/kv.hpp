@@ -1,10 +1,10 @@
-// Sharded RDMA key-value service on MPI-3 one-sided (DESIGN.md §12).
+// Sharded RDMA key-value service on MPI-3 one-sided (DESIGN.md §12, §13).
 //
 // The fig7a hashtable grown into a service: 64-bit keys hash to shards,
-// shards map to owner ranks through a registered routing table that every
-// client fetches ONCE with a one-sided get at attach time (the ROLEX
-// MR-fetch idiom) — after that no two-sided traffic exists on any data
-// path. Each shard region reuses the CAS-bucket scheme (kv/bucket.hpp)
+// shards map to owner ranks through a registered routing table fetched
+// with one-sided gets (the ROLEX MR-fetch idiom, made reconfiguration-safe
+// by a generation word — see below) — no two-sided traffic exists on any
+// data path. Each shard region reuses the CAS-bucket scheme (kv/bucket.hpp)
 // with widened cells {key, version, value(, next)}:
 //
 //   * get  — a one-sided versioned read: the 8-byte version word is a
@@ -27,6 +27,19 @@
 //     the replica. Degraded reads bypass the cache (primary-stamped
 //     epochs cannot be validated against the replica), which is the
 //     modeled SLO degradation bench_kv measures.
+//   * self-healing recovery (DESIGN.md §13) — heal() turns the degraded
+//     state back into a healthy one: the lowest alive rank is elected
+//     coordinator, CAS-claims the routing generation word (even = stable,
+//     odd = reconfiguring), promotes each dead owner's replica to primary,
+//     drains the dead rank's FROZEN shard image with one-sided gets into a
+//     spare region on a surviving rank (fail-stop memory stays readable —
+//     the paper's decoupling claim doing fault-tolerance work), reconciles
+//     the pair with a version-winner scrub, publishes the new entries and
+//     releases the generation. Clients validate the generation with one
+//     AMO overlapped with their epoch check (only once a death has been
+//     observed — zero healthy-path cost) and retire racing ops with typed
+//     retry_routing; a shard whose owner AND replica died retires
+//     data_loss, never a stale frozen value.
 //
 // The closed-loop fleet (run_fleet) drives this with Zipfian keys from
 // fibers on the PR 8 progress engine — each client rank keeps `fibers`
@@ -55,6 +68,20 @@ struct KvConfig {
   std::size_t heap_slots = 256;  ///< overflow cells per shard
   bool replicate = true;         ///< write-through replica at (owner+1)%p
   bool client_cache = true;      ///< epoch-stamped read cache
+  /// Rank hosting the routing table + generation word. A dead routing home
+  /// makes further reconfiguration impossible (documented limitation);
+  /// tests place it on a high rank to exercise coordinator takeover.
+  int routing_rank = 0;
+  /// heal() raises ErrClass::data_loss (fleet abort + post-mortem trace
+  /// dump) when a shard lost both copies; false returns it typed instead.
+  bool abort_on_data_loss = false;
+  std::size_t drain_chunk = 2048;  ///< re-replication drain chunk bytes
+  int scrub_fibers = 4;            ///< concurrent scrub fibers per shard
+  /// Spare-bank slots per rank = spare_factor * shards_per_rank. One slot
+  /// per hosted shard survives a single failure; sequential failures park
+  /// promoted spares in the bank permanently, so capacity for the tests'
+  /// kill-heal-kill chains needs headroom.
+  int spare_factor = 2;
 };
 
 /// Per-client (per-rank) operation statistics; mirrored into the global
@@ -65,6 +92,53 @@ struct KvStats {
   std::uint64_t read_retries = 0;   ///< seqlock validate/locked rereads
   std::uint64_t failovers = 0;      ///< shard reroutes to the replica
   std::uint64_t peer_dead_ops = 0;  ///< typed peer_dead statuses absorbed
+  std::uint64_t retry_routing = 0;  ///< ops retired typed retry_routing
+  std::uint64_t data_loss_ops = 0;  ///< ops retired typed data_loss
+};
+
+/// One physical copy of a shard: which rank hosts it, in which region bank
+/// (0 = primary, 1 = replica, 2 = spare — spares hold re-replicated copies
+/// after recovery), at which local slot. Packed into the routing table as
+/// rank (bits 0-15) | bank (16-19) | slot (20-31); a 64-bit entry is
+/// pack(owner) | pack(replica) << 32.
+struct Copy {
+  int rank = -1;
+  int bank = 0;
+  int slot = 0;
+};
+
+inline std::uint32_t pack_copy(const Copy& c) {
+  return (static_cast<std::uint32_t>(c.rank) & 0xffffu) |
+         ((static_cast<std::uint32_t>(c.bank) & 0xfu) << 16) |
+         ((static_cast<std::uint32_t>(c.slot) & 0xfffu) << 20);
+}
+inline Copy unpack_copy(std::uint32_t w) {
+  return Copy{static_cast<int>(w & 0xffffu),
+              static_cast<int>((w >> 16) & 0xfu),
+              static_cast<int>((w >> 20) & 0xfffu)};
+}
+
+/// Outcome of one heal() pass (see DESIGN.md §13).
+struct RecoveryReport {
+  rdma::OpStatus status = rdma::OpStatus::ok;  ///< ok | data_loss |
+                                               ///< peer_dead (routing home)
+  int coordinator = -1;   ///< elected rank (lowest alive at completion)
+  bool acted = false;     ///< this rank performed the reconfiguration
+  std::uint64_t generation = 0;  ///< routing generation after recovery
+  int promoted = 0;       ///< shards whose replica became primary
+  int rereplicated = 0;   ///< shards granted a fresh spare-bank copy
+  int lost = 0;           ///< shards with owner AND replica dead
+  std::uint64_t drained_bytes = 0;  ///< frozen-image bytes re-replicated
+  std::uint64_t scrub_cells = 0, scrub_repairs = 0;
+};
+
+/// Outcome of one anti-entropy scrub pass over a shard's copy pair.
+struct ScrubResult {
+  rdma::OpStatus status = rdma::OpStatus::ok;
+  std::uint64_t cells = 0;    ///< cell pairs examined
+  std::uint64_t repairs = 0;  ///< diverged cells repaired (version winner)
+  std::uint64_t skipped = 0;  ///< cells skipped (write in progress /
+                              ///< structural chain divergence)
 };
 
 class KvStore {
@@ -104,6 +178,32 @@ class KvStore {
   /// Keys currently cached for `shard` on this client.
   std::size_t cached_entries(int shard) const;
 
+  // --- recovery (DESIGN.md §13) --------------------------------------------
+  /// Self-healing pass; any surviving rank may call it (not collective).
+  /// The lowest alive rank coordinates: replica promotion, one-sided drain
+  /// of the dead rank's frozen image into a spare region, version-winner
+  /// scrub, generation bump. Other callers wait (fiber/backoff through
+  /// yield_check) for the generation to stabilize, then refresh. Returns a
+  /// typed report; with cfg.abort_on_data_loss an unrecoverable shard
+  /// raises ErrClass::data_loss (fleet abort + post-mortem trace dump).
+  RecoveryReport heal();
+  /// Anti-entropy pass over one shard's {primary, replica} cell pairs:
+  /// seqlock snapshots of both sides, higher-version winner copied over the
+  /// loser (ties and top-slot key conflicts go to the primary). Runs as
+  /// fibers on the progress engine. Safe against concurrent writers.
+  ScrubResult scrub(int shard);
+  /// One-sided read of the current routing generation (even = stable).
+  std::uint64_t generation();
+  /// Re-fetches a consistent {generation, table} pair (retries while a
+  /// reconfiguration is in flight) and re-derives degraded()/cache state.
+  rdma::OpStatus refresh_routing();
+  /// Physical copy of `shard` currently serving as primary/replica.
+  Copy copy_of(int shard, bool replica) const;
+  /// Test / anti-entropy-drill seam: writes ONE copy of the key's shard,
+  /// deliberately diverging the pair so a scrub has something to repair.
+  rdma::OpStatus debug_write_copy(std::uint64_t key, bool replica,
+                                  std::uint64_t value);
+
   // --- closed-loop DES client fleet ---------------------------------------
   struct FleetConfig {
     int ops_per_rank = 1024;
@@ -118,7 +218,15 @@ class KvStore {
     trace::LatencyHisto write_hist;  ///< ns per completed put
     std::uint64_t reads = 0, writes = 0;
     std::uint64_t cache_hits = 0;
-    std::uint64_t peer_dead = 0;  ///< typed statuses absorbed by failover
+    // Retirement identity: every issued op retires exactly once, so
+    // issued == ok_ops + peer_dead + retry_routing + data_loss +
+    // failed_other (the chaos tests assert this).
+    std::uint64_t issued = 0;
+    std::uint64_t ok_ops = 0;
+    std::uint64_t peer_dead = 0;      ///< typed peer_dead retirements
+    std::uint64_t retry_routing = 0;  ///< ops that raced a reconfiguration
+    std::uint64_t data_loss = 0;      ///< ops whose shard lost every copy
+    std::uint64_t failed_other = 0;   ///< transient-fault budget exhaustion
   };
   /// Runs this rank's share of the fleet: `fibers` client fibers pull a
   /// deterministic (seed- and rank-stamped) Zipfian op stream off a shared
@@ -130,21 +238,76 @@ class KvStore {
  private:
   struct ClientFiber;
   friend struct ClientFiber;
+  struct DrainFiber;
+  friend struct DrainFiber;
+  struct ScrubFiber;
+  friend struct ScrubFiber;
 
-  // Window layout: [routing table][primary shard regions][replica regions].
+  // Window layout: [generation | pad | routing table][bank 0: primary
+  // regions][bank 1: replica regions][bank 2: spare regions]. Every rank
+  // reserves the routing prefix so region offsets stay symmetric; only the
+  // routing home's copy is authoritative.
   std::size_t routing_bytes() const;
   std::size_t shard_region_bytes() const;
-  /// Region base of `shard`'s primary (replica=false) or replica copy.
-  std::size_t region_base(int shard, bool replica) const;
+  /// Spare-bank (bank 2) slots hosted per rank.
+  int spare_slots() const { return cfg_.spare_factor * shards_per_rank_; }
+  /// Byte offset of a physical copy's region in its host rank's window.
+  std::size_t copy_base(const Copy& c) const;
+  std::size_t epoch_off_of(const Copy& c) const { return copy_base(c); }
+  BucketLayout layout_of(const Copy& c) const;
+  /// Compatibility wrappers routing through the fetched table.
+  std::size_t region_base(int shard, bool replica) const {
+    return copy_base(copy_of(shard, replica));
+  }
   std::size_t epoch_off(int shard, bool replica) const {
     return region_base(shard, replica);
   }
-  BucketLayout layout_for(int shard, bool replica) const;
+  BucketLayout layout_for(int shard, bool replica) const {
+    return layout_of(copy_of(shard, replica));
+  }
   std::size_t slot_of(std::uint64_t key) const;
+
+  // --- versioned routing ----------------------------------------------------
+  /// Routing validation is armed only once a death has been observed
+  /// (reconfigurations happen only after deaths), so the healthy fast path
+  /// pays one load + branch — the PR 5 fault-gate discipline.
+  bool routing_suspect() const;
+  /// One AMO generation check (only when suspect). On mismatch the table
+  /// is re-fetched and the op retires typed retry_routing.
+  rdma::OpStatus check_generation();
+  /// Classifies a generation word that differs from gen_seen_: refreshes
+  /// on a stable (even) generation, and always retires retry_routing.
+  rdma::OpStatus handle_gen_mismatch(std::uint64_t gen);
+  /// Consistent {generation, table} fetch: generation re-read after the
+  /// table get, retried until the pair matches and is stable (even).
+  rdma::OpStatus fetch_routing();
+  /// Installs a freshly fetched table: recomputes degraded() from
+  /// liveness and drops caches of shards whose entries moved.
+  void apply_routing(const std::vector<std::uint64_t>& old);
+  /// Raw one-sided table get, parity-blind (coordinator-internal).
+  rdma::OpStatus raw_fetch_table(std::vector<std::uint64_t>* table);
+
+  // --- recovery internals (kv/recovery.cpp) ---------------------------------
+  /// Coordinator body: claim/adopt the generation, plan promotions and
+  /// re-replications, drain frozen images (fibers), publish entries, scrub
+  /// affected pairs, release the generation.
+  rdma::OpStatus coordinate(std::uint64_t gen, RecoveryReport* rep);
+  /// Picks a spare-bank slot on the first alive rank after `owner_rank`
+  /// (never owner_rank itself); occupancy derived from the routing table.
+  Copy pick_spare(int owner_rank, const std::vector<std::uint64_t>& table,
+                  std::vector<std::uint8_t>* spare_used) const;
+  /// Blocking version-winner repair of one diverged cell (see scrub()).
+  rdma::OpStatus repair_cell(const Copy& loser, std::size_t cell_off,
+                             std::uint64_t locked_ver, std::uint64_t key,
+                             std::uint64_t value, std::uint64_t winner_ver);
 
   // Typed-status AMO helpers (request-based, so faults never raise).
   rdma::OpStatus wait_req(core::RmaRequest& req);
   rdma::OpStatus amo_read(int t, std::size_t off, std::uint64_t* v);
+  /// Two AMO reads issued back to back, awaited together: the generation
+  /// check overlaps the epoch check, costing no extra round trip.
+  rdma::OpStatus amo_read2(int t1, std::size_t off1, std::uint64_t* v1,
+                           int t2, std::size_t off2, std::uint64_t* v2);
   rdma::OpStatus amo_cas(int t, std::size_t off, std::uint64_t expect,
                          std::uint64_t desired, std::uint64_t* prev);
   rdma::OpStatus amo_add(int t, std::size_t off, std::uint64_t add);
@@ -173,9 +336,12 @@ class KvStore {
                               bool is_erase);
   /// Marks `shard` degraded (first peer_dead / liveness miss on its owner).
   void fail_over(int shard);
+  /// Retires an op addressed at a shard whose owner AND replica are dead.
+  rdma::OpStatus data_loss_on(int shard);
   /// Dead-writer seqlock recovery: force-release a version word left odd
   /// by a killed rank (only attempted once a death was observed).
-  void maybe_revoke(int t, std::size_t cell_off, std::uint64_t stuck_ver);
+  rdma::OpStatus maybe_revoke(int t, std::size_t cell_off,
+                              std::uint64_t stuck_ver);
   bool any_peer_dead() const;
 
   KvConfig cfg_;
@@ -184,7 +350,8 @@ class KvStore {
   int shards_per_rank_ = 0;
   core::Win win_;
   fabric::Fabric* fabric_ = nullptr;
-  std::vector<std::uint64_t> routing_;  ///< fetched once: owner | replica<<32
+  std::vector<std::uint64_t> routing_;  ///< pack(owner) | pack(replica)<<32
+  std::uint64_t gen_seen_ = 0;          ///< generation the table was read at
   std::vector<bool> degraded_;          ///< per shard, client-local view
 
   // Epoch-stamped cache: entries of shard s are valid iff the shard's

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace fompi::rdma {
 
@@ -199,6 +200,12 @@ enum class OpStatus : std::uint8_t {
   timeout,    ///< NIC timeout / dropped doorbell: retry budget exhausted
   cq_error,   ///< completion-queue error: retry budget exhausted
   peer_dead,  ///< the target rank is dead (fabric liveness epoch)
+  // Service-layer statuses (src/kv): never produced by the NIC itself, but
+  // carried through the same typed-status plumbing so clients handle one
+  // status space end to end.
+  retry_routing,  ///< op raced a routing reconfiguration; reissue after the
+                  ///< client refreshed its {generation, table} pair
+  data_loss,      ///< every copy of the addressed data is on dead ranks
 };
 
 const char* to_string(OpStatus st) noexcept;
@@ -237,16 +244,34 @@ struct FaultPlan {
   int retry_budget = 4;
   /// Modeled-latency multiplier applied by latency_spike faults.
   double spike_scale = 8.0;
-  /// Rank scheduled to die (or hang) at its kill_at_op-th issued op
-  /// (-1 = nobody dies).
+  /// Rank scheduled to die (or hang) at its first issued op at-or-after
+  /// kill_at_op (-1 = nobody dies).
   int kill_rank = -1;
   std::uint64_t kill_at_op = 0;
+  /// Additional scheduled deaths beyond kill_rank — multi-failure chaos
+  /// (owner+replica double kills, coordinator death mid-recovery). Each
+  /// site fires at that rank's first issued operation at-or-after at_op.
+  struct KillSite {
+    int rank = -1;
+    std::uint64_t at_op = 0;
+  };
+  std::vector<KillSite> kills;
   /// Instead of dying (RankKilledError), the rank parks in an abortable
   /// spin — a silent hang, broken only by the fabric hang watchdog.
   bool hang_instead_of_kill = false;
 
   bool enabled() const noexcept {
-    return transient_faults_per_rank > 0 || kill_rank >= 0;
+    return transient_faults_per_rank > 0 || kill_rank >= 0 || !kills.empty();
+  }
+  /// Earliest op index at which `rank` is scheduled to die, folding
+  /// kill_rank and the kills list (~0 = this rank never dies).
+  std::uint64_t kill_at(int rank) const noexcept {
+    std::uint64_t at = ~std::uint64_t{0};
+    if (rank == kill_rank) at = kill_at_op;
+    for (const auto& k : kills) {
+      if (k.rank == rank && k.at_op < at) at = k.at_op;
+    }
+    return at;
   }
 };
 

@@ -22,6 +22,8 @@ const char* to_string(OpStatus st) noexcept {
     case OpStatus::timeout:   return "timeout";
     case OpStatus::cq_error:  return "cq_error";
     case OpStatus::peer_dead: return "peer_dead";
+    case OpStatus::retry_routing: return "retry_routing";
+    case OpStatus::data_loss:     return "data_loss";
   }
   return "unknown";
 }
@@ -46,6 +48,7 @@ ErrClass err_class_of(OpStatus st) noexcept {
     case OpStatus::timeout:   return ErrClass::timeout;
     case OpStatus::cq_error:  return ErrClass::cq;
     case OpStatus::peer_dead: return ErrClass::peer_dead;
+    case OpStatus::data_loss: return ErrClass::data_loss;
     default:                  return ErrClass::internal;
   }
 }
@@ -79,13 +82,19 @@ void load_word(void* dst, const void* src) noexcept {
   std::memcpy(dst, &v, sizeof(Word));
 }
 
-/// Moves `len` bytes; single aligned words go through CPU atomics. The
-/// 4-byte case covers i32 accumulate/CAS fallback traffic, which must not
-/// tear against concurrent readers either.
+/// Moves `len` bytes; aligned word-multiple spans go word-by-word through
+/// CPU atomics, single 4-byte words cover i32 accumulate/CAS fallback
+/// traffic. Word-atomic bulk transfers matter beyond flag words: a bulk
+/// get can target a region whose words earlier AMOs touched atomically
+/// (e.g. a dead rank's frozen shard image being drained), and reading
+/// those words with one plain memcpy would be a mixed-atomicity race.
 void place_bytes(void* dst, const void* src, std::size_t len) {
-  if (len == 8 && word_aligned<std::uint64_t>(dst) &&
+  if (len >= 8 && (len & 7) == 0 && word_aligned<std::uint64_t>(dst) &&
       word_aligned<std::uint64_t>(src)) {
-    store_word<std::uint64_t>(dst, src);
+    for (std::size_t i = 0; i < len; i += 8) {
+      store_word<std::uint64_t>(static_cast<std::byte*>(dst) + i,
+                                static_cast<const std::byte*>(src) + i);
+    }
     return;
   }
   if (len == 4 && word_aligned<std::uint32_t>(dst) &&
@@ -97,9 +106,12 @@ void place_bytes(void* dst, const void* src, std::size_t len) {
 }
 
 void fetch_bytes(void* dst, const void* src, std::size_t len) {
-  if (len == 8 && word_aligned<std::uint64_t>(dst) &&
+  if (len >= 8 && (len & 7) == 0 && word_aligned<std::uint64_t>(dst) &&
       word_aligned<std::uint64_t>(src)) {
-    load_word<std::uint64_t>(dst, src);
+    for (std::size_t i = 0; i < len; i += 8) {
+      load_word<std::uint64_t>(static_cast<std::byte*>(dst) + i,
+                               static_cast<const std::byte*>(src) + i);
+    }
     return;
   }
   if (len == 4 && word_aligned<std::uint32_t>(dst) &&
@@ -171,10 +183,11 @@ void Nic::update_next_fault_op() noexcept {
   std::uint64_t next = fault_next_ < fault_sched_.size()
                            ? fault_sched_[fault_next_].at_op
                            : ~std::uint64_t{0};
-  if (rank_ == plan.kill_rank && issued_ops_ <= plan.kill_at_op &&
-      plan.kill_at_op < next) {
-    next = plan.kill_at_op;
-  }
+  // The kill stays folded in unconditionally: it only leaves the schedule
+  // by firing (which throws or parks), so next_fault_op_ must never move
+  // past an unfired kill site.
+  const std::uint64_t kill_at = plan.kill_at(rank_);
+  if (kill_at < next) next = kill_at;
   next_fault_op_ = next;
 }
 
@@ -182,9 +195,14 @@ Nic::FaultVerdict Nic::pre_issue_fault_slow(int target, bool is_read,
                                             std::uint64_t my_op) {
   const FaultPlan& plan = domain_.config().fault;
 
-  // Scheduled death: this rank dies (or silently hangs) at its
-  // kill_at_op-th issued operation.
-  if (rank_ == plan.kill_rank && my_op == plan.kill_at_op) {
+  // Scheduled death: this rank dies (or silently hangs) at the first
+  // issued operation at-or-after its kill site (kill_rank or any
+  // kills-list site). At-or-after, not exact equality: the site index is
+  // normally hit exactly (issued_ops_ is per-rank monotone), but >= keeps
+  // the death guaranteed even if a future issue path consumes op indices
+  // without this check — a missed kill strands survivors that wait on the
+  // death forever.
+  if (my_op >= plan.kill_at(rank_)) {
     if (plan.hang_instead_of_kill) {
       // Park in an abortable spin: a silent hang, broken only by the
       // fabric hang watchdog (progress_check raises once the fleet

@@ -52,4 +52,24 @@ double simulate_kv_throughput_mops(int clients, const KvParams& p) {
   return std::min(offered, hot_cap);
 }
 
+double kv_recovery_us(const KvParams& p, std::uint64_t shard_bytes,
+                      std::uint64_t cells, std::uint64_t chunk) {
+  if (chunk == 0) chunk = 1;
+  const double chunks =
+      static_cast<double>((shard_bytes + chunk - 1) / chunk);
+  const double drain_us = chunks * p.bte_setup_us +
+                          static_cast<double>(shard_bytes) * p.bte_byte_ns /
+                              1e3;
+  const double scrub_us =
+      static_cast<double>(cells) * p.scrub_amos * p.amo_us;
+  const double gen_us = 2.0 * p.amo_us;  // claim CAS + release write
+  return drain_us + scrub_us + gen_us;
+}
+
+double kv_post_recovery_p99_us(const KvParams& p) {
+  // The generation check rides the epoch check (overlapped AMOs), so the
+  // healed read path's tail equals the healthy tail.
+  return kv_read_p99_us(p, /*degraded=*/false);
+}
+
 }  // namespace fompi::sim

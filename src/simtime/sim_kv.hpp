@@ -33,6 +33,17 @@ struct KvParams {
   /// NIC-side occupancy per served AMO (the Gemini per-op overhead): one
   /// shard owner sustains 1/0.416 ~ 2.4 M served AMOs/s.
   double amo_service_us = 0.416;
+
+  // --- recovery constants (DESIGN.md §13) -----------------------------------
+  /// BTE bulk-channel setup per drain chunk and per-byte streaming cost
+  /// (the src/simtime Gemini model's bte_setup_ns = 1100, bte_byte_ns =
+  /// 0.145 expressed in the units used here).
+  double bte_setup_us = 1.1;
+  double bte_byte_ns = 0.145;
+  /// Remote words per scrubbed cell pair: {v1, key, value, v2} seqlock
+  /// snapshots of BOTH copies (repairs are rare enough not to move the
+  /// mean).
+  int scrub_amos = 8;
 };
 
 /// Mean modeled get latency (us). Degraded mode (owner dead, replica
@@ -65,5 +76,20 @@ double kv_hot_shard_mass(const KvParams& p);
 /// is on (hot-key replica reads split the load). Monotone nondecreasing
 /// and saturating in `clients`; replication raises the plateau.
 double simulate_kv_throughput_mops(int clients, const KvParams& p = {});
+
+/// Modeled time (us) to heal ONE shard whose owner died: drain the frozen
+/// image (ceil(bytes/chunk) BTE channel setups + the byte stream), scrub
+/// every cell pair (scrub_amos remote words each), plus the generation
+/// claim + release CAS pair. Linear in bytes at fixed chunking, linear in
+/// cells — and drain-dominated for realistic shard sizes, which is the
+/// shape test_simtime pins.
+double kv_recovery_us(const KvParams& p, std::uint64_t shard_bytes,
+                      std::uint64_t cells, std::uint64_t chunk = 2048);
+
+/// Modeled post-recovery p99 get latency (us): recovery restores the
+/// healthy read path exactly (the generation check OVERLAPS the epoch
+/// check — two AMOs in flight together — so it adds no serialized round
+/// trip and the healthy cached/uncached AMO budgets are unchanged).
+double kv_post_recovery_p99_us(const KvParams& p);
 
 }  // namespace fompi::sim

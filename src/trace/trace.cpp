@@ -33,6 +33,7 @@ const char* to_string(EvClass cls) noexcept {
     case EvClass::fiber:         return "fiber";
     case EvClass::notify_post:   return "notify_post";
     case EvClass::kv:            return "kv";
+    case EvClass::recovery:      return "recovery";
     case EvClass::kCount:        break;
   }
   return "unknown";

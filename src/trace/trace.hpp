@@ -72,6 +72,10 @@ enum class EvClass : std::uint8_t {
   fiber,          ///< fiber resumed (begin) / finished (complete); arg = id
   notify_post,    ///< put-with-notification record posted (arg = tag/seq)
   kv,             ///< KV service client op (arg = key, dur = op latency)
+  recovery,       ///< KV recovery: heal span (begin/end), promotion (issue,
+                  ///< arg = shard), drain chunk (doorbell, arg = bytes),
+                  ///< generation release (complete, arg = generation),
+                  ///< scrub repair (retry, arg = cell offset)
   kCount,
 };
 

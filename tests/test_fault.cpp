@@ -365,6 +365,69 @@ TEST(FaultKill, KilledRankConfinedUnderErrorsReturn) {
   EXPECT_EQ(survivors.load(), 3);
 }
 
+TEST(FaultKill, KillsVectorFoldsEarliestSitePerRank) {
+  // Pure plan arithmetic: kill_at() folds the legacy kill_rank pair and
+  // the kills list to each rank's earliest scheduled death.
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.kills = {{1, 30}, {2, 50}, {1, 80}};
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.kill_at(1), 30u);
+  EXPECT_EQ(plan.kill_at(2), 50u);
+  EXPECT_EQ(plan.kill_at(0), ~std::uint64_t{0});
+  plan.kill_rank = 2;
+  plan.kill_at_op = 10;
+  EXPECT_EQ(plan.kill_at(2), 10u) << "earliest site must win";
+}
+
+TEST(FaultKill, KillsVectorConfinesStaggeredDoubleDeath) {
+  // Two scheduled deaths at different op counts: each rank dies at its own
+  // site, survivors observe both typed, and the lowest-alive election
+  // view shifts monotonically as the deaths land.
+  fabric::FabricOptions opts;
+  opts.domain.nranks = 4;
+  opts.domain.ranks_per_node = 1;
+  // Sites sit well past the collective window setup (rank 0 roots the
+  // allocation exchange, so its op budget runs ahead of the others).
+  opts.domain.fault.kills = {{0, 400}, {2, 460}};
+  opts.errors_return = true;
+  std::atomic<int> survivors{0};
+  fabric::run_ranks(
+      4,
+      [&](RankCtx& ctx) {
+        WinConfig wcfg;
+        wcfg.err_mode = core::ErrMode::errors_return;
+        Win win = Win::allocate(ctx, 256, wcfg);
+        win.lock_all();
+        EXPECT_EQ(ctx.fabric().lowest_alive(), 0);
+        ctx.barrier();  // everyone holds the window before anyone can die
+        std::uint64_t v = static_cast<std::uint64_t>(ctx.rank());
+        if (ctx.rank() == 0 || ctx.rank() == 2) {
+          const int target = ctx.rank() == 0 ? 1 : 3;
+          for (int i = 0; i < 1000; ++i) {
+            win.put(&v, 8, target, 0);
+            win.flush(target);
+          }
+          FAIL() << "rank " << ctx.rank() << " must have been killed";
+        }
+        while (win.peer_alive(0) || win.peer_alive(2)) ctx.yield_check();
+        EXPECT_EQ(ctx.fabric().lowest_alive(), 1)
+            << "election view must track the fail-stop liveness table";
+        // Both dead targets answer typed; the surviving pair keeps serving.
+        std::uint64_t ok_val = 7;
+        for (const int dead : {0, 2}) {
+          win.put(&ok_val, 8, dead, 0);
+          EXPECT_EQ(win.flush_checked(dead), OpStatus::peer_dead);
+        }
+        const int live_peer = ctx.rank() == 1 ? 3 : 1;
+        win.put(&ok_val, 8, live_peer, 0);
+        EXPECT_EQ(win.flush_checked(live_peer), OpStatus::ok);
+        survivors.fetch_add(1);
+      },
+      opts);
+  EXPECT_EQ(survivors.load(), 2);
+}
+
 TEST(FaultKill, KilledRankAbortsFleetUnderErrorsAreFatal) {
   fabric::FabricOptions opts;
   opts.domain.nranks = 2;

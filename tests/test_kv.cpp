@@ -514,6 +514,686 @@ TEST(KvFleet, RecordsLatenciesAndStaysCoherent) {
   });
 }
 
+// --- self-healing recovery (DESIGN.md §13) -----------------------------------
+
+namespace {
+
+/// True once every shard's copy pair is either fully alive (healed) or
+/// fully dead (terminally lost) — the state heal() drives toward.
+bool recovery_settled(const KvStore& store) {
+  for (int s = 0; s < store.config().shards; ++s) {
+    const bool pa = store.peer_alive(store.copy_of(s, false).rank);
+    const bool ra = store.peer_alive(store.copy_of(s, true).rank);
+    if (pa != ra) return false;
+  }
+  return true;
+}
+
+/// Survivor-side heal loop. One pass settles the deaths it observed; a
+/// death landing after a pass returned belongs to the next call (heal()'s
+/// documented contract), so survivors loop until the pair map stabilizes.
+kv::RecoveryReport heal_until_settled(KvStore& store, RankCtx& ctx) {
+  kv::RecoveryReport rep = store.heal();
+  while (!recovery_settled(store)) {
+    ctx.yield_check();
+    const kv::RecoveryReport next = store.heal();
+    if (next.acted) rep = next;  // keep the coordinator-side counters
+  }
+  return rep;
+}
+
+}  // namespace
+
+TEST(KvRecovery, OwnerKillPromotesAndRestoresRedundancy) {
+  constexpr int kRanks = 4;
+  fabric::FabricOptions opts;
+  opts.domain.nranks = kRanks;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.fault.kill_rank = 1;
+  opts.domain.fault.kill_at_op = 400;
+  opts.errors_return = true;
+  std::atomic<int> survivors{0};
+  fabric::run_ranks(
+      kRanks,
+      [&](RankCtx& ctx) {
+        KvStore store(ctx);
+        std::vector<std::uint64_t> dead_keys;
+        {
+          std::uint64_t from = 1;
+          for (int i = 0; i < 6; ++i) {
+            dead_keys.push_back(key_owned_by(store, 1, from));
+            from = dead_keys.back() + 1;
+          }
+        }
+        if (ctx.rank() == 0) {
+          for (const auto k : dead_keys) {
+            ASSERT_EQ(store.put(k, k + 7000), OpStatus::ok);
+          }
+        }
+        ctx.barrier();  // last collective before the kill
+
+        if (ctx.rank() == 1) {
+          std::uint64_t v = 0;
+          bool found = false;
+          for (int i = 0; i < 100000; ++i) {
+            store.get(dead_keys[0], &v, &found);
+            store.put(9990001, static_cast<std::uint64_t>(i));
+          }
+          FAIL() << "rank 1 must have been killed";
+        }
+
+        while (store.peer_alive(1)) ctx.yield_check();
+        const auto rep = heal_until_settled(store, ctx);
+        EXPECT_EQ(rep.status, OpStatus::ok);
+        EXPECT_EQ(rep.coordinator, 0);
+        EXPECT_EQ(rep.lost, 0);
+        if (rep.acted) {
+          EXPECT_EQ(ctx.rank(), 0) << "lowest alive rank must coordinate";
+          // Rank 1 owned shards (promoted) and backed rank 0's shards as
+          // replica (re-replicated without promotion).
+          EXPECT_GE(rep.promoted, 1);
+          EXPECT_GT(rep.rereplicated, rep.promoted);
+          EXPECT_GT(rep.drained_bytes, 0u);
+          EXPECT_GT(rep.scrub_cells, 0u);
+        }
+        // The published generation is even (stable) and advanced.
+        const auto gen = store.generation();
+        EXPECT_EQ(gen % 2, 0u);
+        EXPECT_GE(gen, 2u);
+        // Redundancy restored: every shard has two live copies on distinct
+        // ranks, none on the dead rank, and nothing reads degraded.
+        for (int s = 0; s < store.config().shards; ++s) {
+          const kv::Copy prim = store.copy_of(s, false);
+          const kv::Copy repl = store.copy_of(s, true);
+          EXPECT_NE(prim.rank, 1);
+          EXPECT_NE(repl.rank, 1);
+          EXPECT_NE(prim.rank, repl.rank);
+          EXPECT_TRUE(store.peer_alive(prim.rank));
+          EXPECT_TRUE(store.peer_alive(repl.rank));
+          EXPECT_FALSE(store.degraded(s)) << "shard " << s;
+        }
+        // Healthy-phase values survived the promotion + drain.
+        for (const auto k : dead_keys) {
+          std::uint64_t v = 0;
+          bool found = false;
+          ASSERT_EQ(store.get(k, &v, &found), OpStatus::ok);
+          EXPECT_TRUE(found) << "key " << k << " lost in recovery";
+          EXPECT_EQ(v, k + 7000);
+        }
+        // Cache leverage is back: reads of recovered shards revalidate
+        // against the promoted primary's epoch and hit.
+        {
+          const auto hits_before = store.stats().cache_hits;
+          std::uint64_t v = 0;
+          bool found = false;
+          ASSERT_EQ(store.get(dead_keys[0], &v, &found), OpStatus::ok);
+          ASSERT_EQ(store.get(dead_keys[0], &v, &found), OpStatus::ok);
+          EXPECT_GT(store.stats().cache_hits, hits_before)
+              << "recovered shard no longer caches";
+        }
+        // Writes replicate through to the fresh spare copy again.
+        if (ctx.rank() == 2) {
+          const auto fresh = key_owned_by(store, 2, 500000);
+          const int s = store.shard_of(fresh);
+          const auto repl_epoch = store.shard_epoch(s, /*replica=*/true);
+          ASSERT_EQ(store.put(fresh, 424242), OpStatus::ok);
+          EXPECT_GT(store.shard_epoch(s, /*replica=*/true), repl_epoch)
+              << "write-through to the recovered replica bank broken";
+        }
+        survivors.fetch_add(1);
+        // No collectives, no destroy: rank 1 cannot meet them.
+      },
+      opts);
+  EXPECT_EQ(survivors.load(), 3);
+}
+
+TEST(KvRecovery, CoordinatorIsLowestAliveWithSeparateRoutingHome) {
+  // Kill rank 0: the election must settle on rank 1 while the routing
+  // home (rank 3) keeps publishing generations.
+  constexpr int kRanks = 4;
+  fabric::FabricOptions opts;
+  opts.domain.nranks = kRanks;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.fault.kill_rank = 0;
+  opts.domain.fault.kill_at_op = 400;
+  opts.errors_return = true;
+  KvConfig cfg;
+  cfg.routing_rank = 3;
+  std::atomic<int> survivors{0};
+  fabric::run_ranks(
+      kRanks,
+      [&](RankCtx& ctx) {
+        KvStore store(ctx, cfg);
+        const auto probe = key_owned_by(store, 0);
+        if (ctx.rank() == 1) {
+          ASSERT_EQ(store.put(probe, 31), OpStatus::ok);
+        }
+        ctx.barrier();
+        if (ctx.rank() == 0) {
+          std::uint64_t v = 0;
+          bool found = false;
+          for (int i = 0; i < 100000; ++i) {
+            store.get(probe, &v, &found);
+            store.put(8880001, static_cast<std::uint64_t>(i));
+          }
+          FAIL() << "rank 0 must have been killed";
+        }
+        while (store.peer_alive(0)) ctx.yield_check();
+        const auto rep = heal_until_settled(store, ctx);
+        EXPECT_EQ(rep.status, OpStatus::ok);
+        EXPECT_EQ(rep.coordinator, 1);
+        if (rep.acted) {
+          EXPECT_EQ(ctx.rank(), 1);
+        }
+        std::uint64_t v = 0;
+        bool found = false;
+        ASSERT_EQ(store.get(probe, &v, &found), OpStatus::ok);
+        EXPECT_TRUE(found);
+        EXPECT_EQ(v, 31u);
+        EXPECT_FALSE(store.degraded(store.shard_of(probe)));
+        survivors.fetch_add(1);
+      },
+      opts);
+  EXPECT_EQ(survivors.load(), 3);
+}
+
+TEST(KvRecovery, RereplicationSurvivesSecondOwnerKill) {
+  // Kill the owner, heal, then kill the promoted owner: the shard must
+  // still serve the original values — this is the drained spare copy
+  // (re-replicated from the FIRST victim's frozen image) doing its job.
+  constexpr int kRanks = 4;
+  fabric::FabricOptions opts;
+  opts.domain.nranks = kRanks;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.fault.kills = {{1, 400}, {2, 3000}};
+  opts.errors_return = true;
+  std::atomic<int> final_survivors{0};
+  fabric::run_ranks(
+      kRanks,
+      [&](RankCtx& ctx) {
+        KvStore store(ctx);
+        std::vector<std::uint64_t> dead_keys;
+        {
+          std::uint64_t from = 1;
+          for (int i = 0; i < 4; ++i) {
+            dead_keys.push_back(key_owned_by(store, 1, from));
+            from = dead_keys.back() + 1;
+          }
+        }
+        if (ctx.rank() == 0) {
+          for (const auto k : dead_keys) {
+            ASSERT_EQ(store.put(k, k + 11000), OpStatus::ok);
+          }
+        }
+        ctx.barrier();
+        if (ctx.rank() == 1) {
+          std::uint64_t v = 0;
+          bool found = false;
+          for (int i = 0; i < 100000; ++i) {
+            store.get(dead_keys[0], &v, &found);
+            store.put(9990001, static_cast<std::uint64_t>(i));
+          }
+          FAIL() << "rank 1 must have been killed";
+        }
+        while (store.peer_alive(1)) ctx.yield_check();
+        heal_until_settled(store, ctx);
+        if (ctx.rank() == 2) {
+          // The promoted owner burns ops until its scheduled death; heal()
+          // keeps it routing-current in the meantime.
+          std::uint64_t v = 0;
+          bool found = false;
+          for (int i = 0; i < 300000; ++i) {
+            store.get(dead_keys[0], &v, &found);
+            store.heal();
+          }
+          FAIL() << "rank 2 must have been killed";
+        }
+        while (store.peer_alive(2)) ctx.yield_check();
+        const auto rep = heal_until_settled(store, ctx);
+        EXPECT_EQ(rep.status, OpStatus::ok);
+        EXPECT_EQ(rep.lost, 0) << "second kill lost data the spare held";
+        for (int s = 0; s < store.config().shards; ++s) {
+          EXPECT_TRUE(store.peer_alive(store.copy_of(s, false).rank));
+          EXPECT_TRUE(store.peer_alive(store.copy_of(s, true).rank));
+          EXPECT_FALSE(store.degraded(s));
+        }
+        for (const auto k : dead_keys) {
+          std::uint64_t v = 0;
+          bool found = false;
+          ASSERT_EQ(store.get(k, &v, &found), OpStatus::ok);
+          EXPECT_TRUE(found) << "key " << k << " lost across two recoveries";
+          EXPECT_EQ(v, k + 11000);
+        }
+        final_survivors.fetch_add(1);
+      },
+      opts);
+  EXPECT_EQ(final_survivors.load(), 2);
+}
+
+TEST(KvRecovery, DoubleKillIsTypedDataLossNeverStale) {
+  // Owner AND replica of the same shards die before anyone heals: ops on
+  // those shards retire typed data_loss (no hang, no frozen stale serve),
+  // heal() reports the loss typed, and untouched shards keep serving.
+  constexpr int kRanks = 4;
+  fabric::FabricOptions opts;
+  opts.domain.nranks = kRanks;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.fault.kills = {{1, 400}, {2, 400}};
+  opts.errors_return = true;
+  std::atomic<int> survivors{0};
+  fabric::run_ranks(
+      kRanks,
+      [&](RankCtx& ctx) {
+        KvStore store(ctx);
+        // Shards owned by rank 1 have their replica on rank 2: killing
+        // both erases every copy.
+        const auto lost_key = key_owned_by(store, 1);
+        const auto live_key = key_owned_by(store, 3);
+        if (ctx.rank() == 0) {
+          ASSERT_EQ(store.put(lost_key, 1), OpStatus::ok);
+          ASSERT_EQ(store.put(live_key, 2), OpStatus::ok);
+        }
+        ctx.barrier();
+        if (ctx.rank() == 1 || ctx.rank() == 2) {
+          std::uint64_t v = 0;
+          bool found = false;
+          for (int i = 0; i < 100000; ++i) {
+            store.get(live_key, &v, &found);
+            store.put(7770001 + static_cast<std::uint64_t>(ctx.rank()),
+                      static_cast<std::uint64_t>(i));
+          }
+          FAIL() << "rank " << ctx.rank() << " must have been killed";
+        }
+        while (store.peer_alive(1) || store.peer_alive(2)) ctx.yield_check();
+        // The other survivor may already be healing: a generation bump
+        // legally retires one retry_routing before the typed final status,
+        // so absorb retries and assert the settled retirement.
+        const auto settled_op = [&](auto&& op) {
+          OpStatus st;
+          do {
+            st = op();
+            ctx.yield_check();
+          } while (st == OpStatus::retry_routing);
+          return st;
+        };
+        // Typed confinement before recovery: no copy left to serve.
+        std::uint64_t v = 0;
+        bool found = false;
+        EXPECT_EQ(settled_op([&] { return store.get(lost_key, &v, &found); }),
+                  OpStatus::data_loss);
+        EXPECT_EQ(settled_op([&] { return store.put(lost_key, 9); }),
+                  OpStatus::data_loss);
+        EXPECT_GE(store.stats().data_loss_ops, 2u);
+        const auto rep = heal_until_settled(store, ctx);
+        EXPECT_EQ(rep.status, OpStatus::data_loss);
+        EXPECT_GE(rep.lost, 1);
+        // Post-recovery: the lost shard still answers typed, everything
+        // else healed to live pairs and serves.
+        EXPECT_EQ(settled_op([&] { return store.get(lost_key, &v, &found); }),
+                  OpStatus::data_loss);
+        ASSERT_EQ(settled_op([&] { return store.get(live_key, &v, &found); }),
+                  OpStatus::ok);
+        EXPECT_TRUE(found);
+        EXPECT_EQ(v, 2u);
+        for (int s = 0; s < store.config().shards; ++s) {
+          const bool pa = store.peer_alive(store.copy_of(s, false).rank);
+          const bool ra = store.peer_alive(store.copy_of(s, true).rank);
+          EXPECT_EQ(pa, ra) << "shard " << s << " left half-recovered";
+          if (pa) {
+            EXPECT_FALSE(store.degraded(s));
+          }
+        }
+        survivors.fetch_add(1);
+      },
+      opts);
+  EXPECT_EQ(survivors.load(), 2);
+}
+
+TEST(KvRecovery, AbortOnDataLossUnwindsFleetTyped) {
+  // With abort_on_data_loss the unrecoverable shard is a fleet-fatal,
+  // post-mortem-traced event instead of a typed return.
+  constexpr int kRanks = 4;
+  fabric::FabricOptions opts;
+  opts.domain.nranks = kRanks;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.fault.kills = {{1, 300}, {2, 300}};
+  opts.errors_return = true;
+  KvConfig cfg;
+  cfg.abort_on_data_loss = true;
+  try {
+    fabric::run_ranks(
+        kRanks,
+        [&](RankCtx& ctx) {
+          KvStore store(ctx, cfg);
+          const auto doomed = key_owned_by(store, 1);
+          ctx.barrier();
+          if (ctx.rank() == 1 || ctx.rank() == 2) {
+            std::uint64_t v = 0;
+            bool found = false;
+            for (int i = 0; i < 100000; ++i) {
+              store.get(doomed, &v, &found);
+              store.put(6660001 + static_cast<std::uint64_t>(ctx.rank()),
+                        static_cast<std::uint64_t>(i));
+            }
+            FAIL() << "rank " << ctx.rank() << " must have been killed";
+          }
+          while (store.peer_alive(1) || store.peer_alive(2)) {
+            ctx.yield_check();
+          }
+          store.heal();  // raises ErrClass::data_loss on the coordinator
+          while (true) ctx.yield_check();  // followers park until the abort
+        },
+        opts);
+    FAIL() << "data loss must abort the fleet";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.err_class(), ErrClass::data_loss) << e.what();
+  }
+}
+
+TEST(KvRecovery, RoutingRefreshSeesConsistentGenerationTablePairs) {
+  // Regression for fetch-once staleness: a client re-fetching WHILE the
+  // coordinator reconfigures must only ever observe {generation, table}
+  // pairs — the fully-old table or the fully-new one, never a torn mix of
+  // published and unpublished entries.
+  constexpr int kRanks = 4;
+  fabric::FabricOptions opts;
+  opts.domain.nranks = kRanks;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.fault.kill_rank = 1;
+  opts.domain.fault.kill_at_op = 400;
+  opts.errors_return = true;
+  std::atomic<int> survivors{0};
+  fabric::run_ranks(
+      kRanks,
+      [&](RankCtx& ctx) {
+        KvStore store(ctx);
+        const auto doomed = key_owned_by(store, 1);
+        ctx.barrier();
+        if (ctx.rank() == 1) {
+          std::uint64_t v = 0;
+          bool found = false;
+          for (int i = 0; i < 100000; ++i) {
+            store.get(doomed, &v, &found);
+            store.put(5550001, static_cast<std::uint64_t>(i));
+          }
+          FAIL() << "rank 1 must have been killed";
+        }
+        while (store.peer_alive(1)) ctx.yield_check();
+        if (ctx.rank() == 3) {
+          // The probe rank never heals; it hammers refresh_routing()
+          // against the in-flight reconfiguration.
+          for (int i = 0; i < 200000; ++i) {
+            ASSERT_EQ(store.refresh_routing(), OpStatus::ok);
+            bool any_old = false, any_new = false;
+            for (int s = 0; s < store.config().shards; ++s) {
+              const kv::Copy prim = store.copy_of(s, false);
+              const kv::Copy repl = store.copy_of(s, true);
+              const bool touches_dead = prim.rank == 1 || repl.rank == 1;
+              if (touches_dead) {
+                any_old = true;
+              } else {
+                EXPECT_TRUE(store.peer_alive(prim.rank))
+                    << "fetched entry points at a bogus primary";
+              }
+              if (prim.bank == 2 || repl.bank == 2) any_new = true;
+            }
+            ASSERT_FALSE(any_old && any_new)
+                << "torn fetch: mixed pre- and post-recovery entries";
+            if (!any_old) break;  // fully-new table observed: done
+            ctx.yield_check();
+          }
+          EXPECT_EQ(store.generation() % 2, 0u);
+          std::uint64_t v = 0;
+          bool found = false;
+          EXPECT_EQ(store.get(doomed, &v, &found), OpStatus::ok);
+        } else {
+          heal_until_settled(store, ctx);
+        }
+        survivors.fetch_add(1);
+      },
+      opts);
+  EXPECT_EQ(survivors.load(), 3);
+}
+
+TEST(KvRecovery, StaleClientRetiresTypedRetryRoutingThenRecovers) {
+  // A client that sat out the reconfiguration: its first op against the
+  // bumped generation retires typed retry_routing (refetching the table
+  // as a side effect), and the retry succeeds.
+  constexpr int kRanks = 4;
+  fabric::FabricOptions opts;
+  opts.domain.nranks = kRanks;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.fault.kill_rank = 1;
+  opts.domain.fault.kill_at_op = 400;
+  opts.errors_return = true;
+  std::atomic<int> survivors{0};
+  fabric::run_ranks(
+      kRanks,
+      [&](RankCtx& ctx) {
+        KvStore store(ctx);
+        const auto doomed = key_owned_by(store, 1);
+        if (ctx.rank() == 0) {
+          ASSERT_EQ(store.put(doomed, 77), OpStatus::ok);
+        }
+        ctx.barrier();
+        if (ctx.rank() == 1) {
+          std::uint64_t v = 0;
+          bool found = false;
+          for (int i = 0; i < 100000; ++i) {
+            store.get(doomed, &v, &found);
+            store.put(4440001, static_cast<std::uint64_t>(i));
+          }
+          FAIL() << "rank 1 must have been killed";
+        }
+        while (store.peer_alive(1)) ctx.yield_check();
+        if (ctx.rank() == 3) {
+          // Stale client: wait out the recovery without refreshing, then
+          // issue an op against the advanced generation.
+          while (store.generation() < 2) ctx.yield_check();
+          std::uint64_t v = 0;
+          bool found = false;
+          auto st = store.get(doomed, &v, &found);
+          while (st == OpStatus::retry_routing) {
+            st = store.get(doomed, &v, &found);
+          }
+          EXPECT_EQ(st, OpStatus::ok);
+          EXPECT_TRUE(found);
+          EXPECT_EQ(v, 77u);
+          EXPECT_GE(store.stats().retry_routing, 1u)
+              << "stale generation must retire typed retry_routing";
+        } else {
+          heal_until_settled(store, ctx);
+        }
+        survivors.fetch_add(1);
+      },
+      opts);
+  EXPECT_EQ(survivors.load(), 3);
+}
+
+// --- anti-entropy scrub -------------------------------------------------------
+
+TEST(KvScrub, RepairsInjectedDivergenceToVersionWinnerAndIsIdempotent) {
+  fabric::run_ranks(2, [](RankCtx& ctx) {
+    KvStore store(ctx);
+    if (ctx.rank() == 0) {
+      const auto k1 = key_owned_by(store, 0);
+      const auto k2 = key_owned_by(store, 0, k1 + 1);
+      ASSERT_EQ(store.put(k1, 10), OpStatus::ok);
+      ASSERT_EQ(store.put(k2, 20), OpStatus::ok);
+      // Warm the cache so the repair's epoch bump is also exercised.
+      std::uint64_t v = 0;
+      bool found = false;
+      ASSERT_EQ(store.get(k1, &v, &found), OpStatus::ok);
+      // Diverge the pair both ways: k1's replica ahead (higher version),
+      // k2's primary ahead.
+      ASSERT_EQ(store.debug_write_copy(k1, /*replica=*/true, 111),
+                OpStatus::ok);
+      ASSERT_EQ(store.debug_write_copy(k2, /*replica=*/false, 222),
+                OpStatus::ok);
+      const int s1 = store.shard_of(k1);
+      const int s2 = store.shard_of(k2);
+      auto r1 = store.scrub(s1);
+      EXPECT_EQ(r1.status, OpStatus::ok);
+      EXPECT_GT(r1.cells, 0u);
+      EXPECT_GE(r1.repairs, 1u) << "diverged cell not repaired";
+      if (s2 != s1) {
+        const auto r2 = store.scrub(s2);
+        EXPECT_EQ(r2.status, OpStatus::ok);
+        EXPECT_GE(r2.repairs, 1u);
+      }
+      // Version winners: k1's replica write (newer) must now be the
+      // primary-visible value; k2's primary write stays authoritative.
+      ASSERT_EQ(store.get(k1, &v, &found), OpStatus::ok);
+      EXPECT_TRUE(found);
+      EXPECT_EQ(v, 111u) << "higher-version replica write lost";
+      ASSERT_EQ(store.get(k2, &v, &found), OpStatus::ok);
+      EXPECT_TRUE(found);
+      EXPECT_EQ(v, 222u);
+      // Converged pairs scrub clean: the pass is idempotent.
+      const auto again = store.scrub(s1);
+      EXPECT_EQ(again.status, OpStatus::ok);
+      EXPECT_EQ(again.repairs, 0u) << "scrub is not idempotent";
+    }
+    ctx.barrier();
+    store.destroy(ctx);
+  });
+}
+
+TEST(KvScrub, DeadCopyScrubRetiresTypedPeerDead) {
+  constexpr int kRanks = 3;
+  fabric::FabricOptions opts;
+  opts.domain.nranks = kRanks;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.fault.kill_rank = 2;
+  opts.domain.fault.kill_at_op = 200;
+  opts.errors_return = true;
+  std::atomic<int> survivors{0};
+  fabric::run_ranks(
+      kRanks,
+      [&](RankCtx& ctx) {
+        KvStore store(ctx);
+        const auto doomed = key_owned_by(store, 2);
+        ctx.barrier();
+        if (ctx.rank() == 2) {
+          std::uint64_t v = 0;
+          bool found = false;
+          for (int i = 0; i < 100000; ++i) {
+            store.get(doomed, &v, &found);
+            store.put(3330001, static_cast<std::uint64_t>(i));
+          }
+          FAIL() << "rank 2 must have been killed";
+        }
+        while (store.peer_alive(2)) ctx.yield_check();
+        const auto r = store.scrub(store.shard_of(doomed));
+        EXPECT_EQ(r.status, OpStatus::peer_dead)
+            << "scrub over a dead copy must refuse typed, not wedge";
+        survivors.fetch_add(1);
+      },
+      opts);
+  EXPECT_EQ(survivors.load(), 2);
+}
+
+// --- recovery chaos -----------------------------------------------------------
+
+namespace {
+
+/// One closed-loop fleet round with a staggered double kill: rank 1 dies
+/// mid-fleet and rank 2 dies later — during its own fleet tail, its heal
+/// participation, or its post-heal traffic, depending on the seed-varied
+/// kill sites. Survivors heal until the pair map settles and every op ever
+/// issued must retire into exactly one typed bucket.
+void recovery_chaos_round(std::uint64_t seed) {
+  constexpr int kRanks = 4;
+  fabric::FabricOptions opts;
+  opts.domain.nranks = kRanks;
+  opts.domain.ranks_per_node = 1;
+  opts.domain.fault.seed = seed;
+  opts.domain.fault.kills = {{1, 260 + (seed % 5) * 97},
+                             {2, 900 + (seed % 7) * 61}};
+  opts.errors_return = true;
+  std::atomic<int> survivors{0};
+  fabric::run_ranks(
+      kRanks,
+      [&](RankCtx& ctx) {
+        KvStore store(ctx);
+        if (ctx.rank() == 0) {
+          for (std::uint64_t k = 1; k <= 64; ++k) {
+            ASSERT_EQ(store.put(k, k * 3), OpStatus::ok);
+          }
+        }
+        ctx.barrier();  // last collective: kills land in the fleet phase
+        KvStore::FleetConfig fc;
+        fc.ops_per_rank = 500;
+        fc.fibers = 4;
+        fc.read_ratio = 0.9;
+        fc.keyspace = 64;
+        fc.seed = seed;
+        const auto res = store.run_fleet(ctx, fc);
+        // Retirement identity: every issued op retired exactly once into
+        // a typed bucket (the killed ranks never reach this assert).
+        EXPECT_EQ(res.issued, static_cast<std::uint64_t>(fc.ops_per_rank));
+        EXPECT_EQ(res.issued, res.ok_ops + res.peer_dead + res.retry_routing +
+                                  res.data_loss + res.failed_other)
+            << "an op leaked out of the retirement identity at seed " << seed;
+        if (ctx.rank() == 2) {
+          // Burn ops until the scheduled death: heal participation and
+          // traffic, so the kill can land mid-drain or mid-scrub.
+          std::uint64_t v = 0;
+          bool found = false;
+          for (int i = 0; i < 300000; ++i) {
+            store.heal();
+            store.get(1, &v, &found);
+          }
+          FAIL() << "rank 2 must have been killed at seed " << seed;
+        }
+        while (store.peer_alive(1) || store.peer_alive(2)) ctx.yield_check();
+        const auto rep = heal_until_settled(store, ctx);
+        EXPECT_NE(rep.status, OpStatus::pending);
+        // Settled end state: every pair fully alive (and not degraded) or
+        // terminally lost; every key answers typed, never hangs.
+        for (int s = 0; s < store.config().shards; ++s) {
+          const bool pa = store.peer_alive(store.copy_of(s, false).rank);
+          const bool ra = store.peer_alive(store.copy_of(s, true).rank);
+          EXPECT_EQ(pa, ra) << "half-recovered shard " << s << " at seed "
+                            << seed;
+          if (pa) {
+            EXPECT_FALSE(store.degraded(s));
+          }
+        }
+        for (std::uint64_t k = 1; k <= 64; ++k) {
+          std::uint64_t v = 0;
+          bool found = false;
+          const auto st = store.get(k, &v, &found);
+          EXPECT_TRUE(st == OpStatus::ok || st == OpStatus::data_loss)
+              << "key " << k << " retired " << rdma::to_string(st)
+              << " at seed " << seed;
+        }
+        // A post-recovery fleet round keeps the identity with the healed
+        // (or typed-lost) routing.
+        KvStore::FleetConfig post = fc;
+        post.ops_per_rank = 200;
+        post.seed = seed + 1;
+        const auto after = store.run_fleet(ctx, post);
+        EXPECT_EQ(after.issued, static_cast<std::uint64_t>(post.ops_per_rank));
+        EXPECT_EQ(after.issued, after.ok_ops + after.peer_dead +
+                                    after.retry_routing + after.data_loss +
+                                    after.failed_other);
+        EXPECT_EQ(after.peer_dead, 0u)
+            << "post-recovery routing still points at dead ranks";
+        survivors.fetch_add(1);
+      },
+      opts);
+  EXPECT_EQ(survivors.load(), 2);
+}
+
+}  // namespace
+
+TEST(KvRecoveryChaos, SettlesWithTypedRetirementAcrossSeeds) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    recovery_chaos_round(seed);
+  }
+}
+
 TEST(KvFleet, OpStreamIsSeedDeterministic) {
   // Same seed: identical op mix (reads/writes split) across runs.
   std::array<std::uint64_t, 2> reads{}, writes{};
